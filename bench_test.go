@@ -1,0 +1,274 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gengc"
+	"repro/internal/msa"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// This file holds one benchmark per table and figure of the thesis's
+// evaluation, plus the ablation benches DESIGN.md calls out. Regenerate
+// everything (tables included) with:
+//
+//	go run ./cmd/cgbench
+//
+// The Fig* benchmarks time the full regeneration of each figure; the
+// Workload/... benchmarks time one run of each SPEC analog under each
+// collector, which is the raw comparison behind Figures 4.7-4.10.
+
+func BenchmarkFig41CollectableNoOptVsOpt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig41()
+	}
+}
+
+func BenchmarkFig42StaticAndThreadSize1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig42_44(1)
+	}
+}
+
+func BenchmarkFig43StaticAndThreadSize10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig42_44(10)
+	}
+}
+
+func BenchmarkFig44StaticAndThreadSize100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig42_44(100)
+	}
+}
+
+func BenchmarkFig45BlockSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig45()
+	}
+}
+
+func BenchmarkFig46AgeAtDeath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig46()
+	}
+}
+
+func BenchmarkFig47TimingSize1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig47_48(1)
+	}
+}
+
+func BenchmarkFig48TimingSize10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig47_48(10)
+	}
+}
+
+func BenchmarkFig49LargeRuns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig49()
+	}
+}
+
+func BenchmarkFig410SpeedupSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig410([]int{1, 10})
+	}
+}
+
+func BenchmarkFig411Resetting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig411()
+	}
+}
+
+func BenchmarkFig412RecycleTiming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig412()
+	}
+}
+
+func BenchmarkFig413RecycleCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig413()
+	}
+}
+
+func BenchmarkFigA1ThreadStatics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FigA1()
+	}
+}
+
+func BenchmarkFigA2BreakdownSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FigA2_4(1)
+	}
+}
+
+func BenchmarkFigA3BreakdownMedium(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FigA2_4(10)
+	}
+}
+
+func BenchmarkFigA5RawTimingsSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FigA5_7(1)
+	}
+}
+
+// BenchmarkWorkload is the raw material of the timing figures: each SPEC
+// analog under each collector at size 1 and 10 (100 is exercised by the
+// Fig 4.9/4.4 benches).
+func BenchmarkWorkload(b *testing.B) {
+	collectors := []struct {
+		name string
+		mk   func() vm.Collector
+	}{
+		{"cg", func() vm.Collector { return core.New(core.DefaultConfig()) }},
+		{"cg-recycle", func() vm.Collector { return core.New(core.Config{StaticOpt: true, Recycle: true}) }},
+		{"msa", func() vm.Collector { return msa.NewSystem() }},
+		{"gen", func() vm.Collector { return gengc.New() }},
+	}
+	for _, spec := range workload.All() {
+		for _, col := range collectors {
+			for _, size := range []int{1, 10} {
+				b.Run(spec.Name+"/"+col.name+"/size"+itoa(size), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						rt := NewRuntime(NewHeap(spec.HeapBytes(size)), col.mk())
+						spec.Run(rt, size)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkStaticOptAblation measures the §3.4 optimization's runtime
+// cost/benefit on the benchmark it affects most (jess).
+func BenchmarkStaticOptAblation(b *testing.B) {
+	spec, err := workload.ByName("jess")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, opt := range []bool{true, false} {
+		name := "opt"
+		if !opt {
+			name = "noopt"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A big heap isolates collector bookkeeping from
+				// collection pressure: no-opt keeps far more live.
+				rt := NewRuntime(NewHeap(64<<20), core.New(core.Config{StaticOpt: opt}))
+				spec.Run(rt, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkPackedHandleAblation compares the §3.5 packed union-find
+// representation against the wide one under a real workload.
+func BenchmarkPackedHandleAblation(b *testing.B) {
+	spec, err := workload.ByName("jack")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, packed := range []bool{false, true} {
+		name := "wide"
+		if packed {
+			name = "packed"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := NewRuntime(NewHeap(spec.HeapBytes(1)), core.New(core.Config{StaticOpt: true, Packed: packed}))
+				spec.Run(rt, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkTypedRecycleAblation compares §3.7 first-fit recycling with
+// the Chapter 6 by-type extension on the token-storm workload, where
+// same-class churn dominates.
+func BenchmarkTypedRecycleAblation(b *testing.B) {
+	spec, err := workload.ByName("jack")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"first-fit", core.Config{StaticOpt: true, Recycle: true}},
+		{"by-type", core.Config{StaticOpt: true, TypedRecycle: true}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := NewRuntime(NewHeap(spec.HeapBytes(1)), core.New(m.cfg))
+				spec.Run(rt, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkResettingAblation measures the §3.6 resetting pass's overhead
+// when traditional collections are forced frequently.
+func BenchmarkResettingAblation(b *testing.B) {
+	spec, err := workload.ByName("jess")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, reset := range []bool{false, true} {
+		name := "rebuild-only"
+		if reset {
+			name = "reset"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := NewRuntime(NewHeap(64<<20), core.New(core.Config{StaticOpt: true, ResetOnGC: reset}))
+				rt.GCEvery = 5000
+				spec.Run(rt, 1)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 1 {
+		return "1"
+	}
+	return "10"
+}
+
+// TestFacadeQuickstart exercises the package-level API end to end (the
+// doc-comment example).
+func TestFacadeQuickstart(t *testing.T) {
+	h := NewHeap(1 << 20)
+	cls := h.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+	cg := NewCG(DefaultConfig())
+	rt := NewRuntime(h, cg)
+	th := rt.NewThread(0)
+	th.CallVoid(1, func(f *Frame) {
+		f.SetLocal(0, f.MustNew(cls))
+	})
+	if cg.Stats().Popped != 1 {
+		t.Fatalf("Popped = %d, want 1", cg.Stats().Popped)
+	}
+	// The baselines construct and attach cleanly too.
+	for _, c := range []Collector{NewMarkSweep(), NewGenerational()} {
+		h2 := NewHeap(1 << 16)
+		cls2 := h2.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+		rt2 := NewRuntime(h2, c)
+		th2 := rt2.NewThread(0)
+		th2.CallVoid(1, func(f *Frame) { f.SetLocal(0, f.MustNew(cls2)) })
+	}
+}

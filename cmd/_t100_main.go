@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/msa"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, name := range []string{"jess", "javac", "jack", "raytrace", "db", "mpegaudio"} {
+		s, _ := workload.ByName(name)
+		t0 := time.Now()
+		rtc := vm.New(heap.New(s.HeapBytes(100)), core.New(core.DefaultConfig()))
+		s.Run(rtc, 100)
+		cg := time.Since(t0)
+		t0 = time.Now()
+		rtm := vm.New(heap.New(s.HeapBytes(100)), msa.NewSystem())
+		s.Run(rtm, 100)
+		base := time.Since(t0)
+		fmt.Printf("%-10s cg=%8.3fs (gc=%d)  base=%8.3fs (gc=%d)  speedup=%.2f\n",
+			name, cg.Seconds(), rtc.GCCycles(), base.Seconds(), rtm.GCCycles(), base.Seconds()/cg.Seconds())
+	}
+}

@@ -1,0 +1,72 @@
+// Command cgbench regenerates every table and figure of the thesis's
+// evaluation (Chapter 4 and Appendix A) and prints them in order.
+//
+// Usage:
+//
+//	cgbench                 # everything (the large runs take a minute)
+//	cgbench -fig 4.1        # a single figure
+//	cgbench -skip-timing    # demographics only (fast, deterministic)
+//	cgbench -skip-large     # omit the size-100 sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "regenerate a single figure (e.g. 4.1, 4.5, A.2)")
+	skipTiming := flag.Bool("skip-timing", false, "skip the wall-clock experiments (4.7, 4.8, 4.10, 4.12, A.5-A.7)")
+	skipLarge := flag.Bool("skip-large", false, "skip the size-100 sweeps (4.4, 4.9, 4.10 large column, A.4, A.7)")
+	flag.Parse()
+
+	type gen struct {
+		id     string
+		timing bool
+		large  bool
+		render func() string
+	}
+	gens := []gen{
+		{"2.1", false, false, experiments.Example21},
+		{"3.1", false, false, experiments.Example31},
+		{"4.1", false, false, func() string { return experiments.Fig41().String() }},
+		{"4.2", false, false, func() string { return experiments.Fig42_44(1).String() }},
+		{"4.3", false, false, func() string { return experiments.Fig42_44(10).String() }},
+		{"4.4", false, true, func() string { return experiments.Fig42_44(100).String() }},
+		{"4.5", false, false, func() string { return experiments.Fig45().String() }},
+		{"4.6", false, false, func() string { return experiments.Fig46().String() }},
+		{"4.7", true, false, func() string { return experiments.Fig47_48(1).String() }},
+		{"4.8", true, false, func() string { return experiments.Fig47_48(10).String() }},
+		{"4.9", false, true, func() string { return experiments.Fig49().String() }},
+		{"4.10", true, true, func() string { return experiments.Fig410([]int{1, 10, 100}).String() }},
+		{"4.11", false, false, func() string { return experiments.Fig411().String() }},
+		{"4.12", true, false, func() string { return experiments.Fig412().String() }},
+		{"4.13", false, false, func() string { return experiments.Fig413().String() }},
+		{"A.1", false, false, func() string { return experiments.FigA1().String() }},
+		{"A.2", false, false, func() string { return experiments.FigA2_4(1).String() }},
+		{"A.3", false, false, func() string { return experiments.FigA2_4(10).String() }},
+		{"A.4", false, true, func() string { return experiments.FigA2_4(100).String() }},
+		{"A.5", true, false, func() string { return experiments.FigA5_7(1).String() }},
+		{"A.6", true, false, func() string { return experiments.FigA5_7(10).String() }},
+		{"A.7", true, true, func() string { return experiments.FigA5_7(100).String() }},
+	}
+
+	matched := false
+	for _, g := range gens {
+		if *fig != "" && g.id != *fig {
+			continue
+		}
+		if *fig == "" && ((*skipTiming && g.timing) || (*skipLarge && g.large)) {
+			continue
+		}
+		matched = true
+		fmt.Println(g.render())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "cgbench: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command cgrun assembles and executes a .jasm program (see
+// internal/jasm for the language) under a selectable collector, then
+// reports what was collected and how.
+//
+// Usage:
+//
+//	cgrun [-collector cg|cg-noopt|cg-recycle|msa|gen] [-heap bytes] [-dis] prog.jasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gengc"
+	"repro/internal/heap"
+	"repro/internal/jasm"
+	"repro/internal/msa"
+	"repro/internal/vm"
+)
+
+func main() {
+	collector := flag.String("collector", "cg", "collector: cg, cg-noopt, cg-recycle, msa or gen")
+	heapBytes := flag.Int("heap", 1<<20, "arena size in bytes")
+	dis := flag.Bool("dis", false, "print the disassembly instead of running")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cgrun [flags] prog.jasm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := jasm.AssembleSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	var col vm.Collector
+	switch *collector {
+	case "cg":
+		col = core.New(core.DefaultConfig())
+	case "cg-noopt":
+		col = core.New(core.Config{})
+	case "cg-recycle":
+		col = core.New(core.Config{StaticOpt: true, Recycle: true})
+	case "msa":
+		col = msa.NewSystem()
+	case "gen":
+		col = gengc.New()
+	default:
+		fatal(fmt.Errorf("unknown collector %q", *collector))
+	}
+
+	rt := vm.New(heap.New(*heapBytes), col)
+	if _, err := prog.Bind(rt).Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("collector:     %s\n", col.Name())
+	fmt.Printf("instructions:  %d\n", rt.Instr())
+	fmt.Printf("gc cycles:     %d\n", rt.GCCycles())
+	hs := rt.Heap.Stats()
+	fmt.Printf("allocations:   %d (%d bytes)\n", hs.Allocs, hs.BytesAlloc)
+	fmt.Printf("frees:         %d\n", hs.Frees)
+	fmt.Printf("live at exit:  %d objects, %d bytes\n", rt.Heap.NumLive(), rt.Heap.Arena().InUse())
+	if cg, ok := col.(*core.CG); ok {
+		b := cg.Snapshot()
+		fmt.Printf("cg popped:     %d  static: %d  thread: %d  msa: %d\n",
+			b.Popped, b.Static, b.Thread, b.MSA)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Interp: a program written in the jasm assembly language (the runtime's
+// textual instruction set, internal/jasm) executed under the
+// contaminated collector. The program builds a static registry, churns
+// through per-request scratch objects, and the report shows CG
+// collecting the scratch at every frame pop without a single traditional
+// collection.
+//
+// Run with: go run ./examples/interp
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/jasm"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+const program = `
+; A tiny request-processing service: the registry lives forever, the
+; per-request scratch dies with each handler frame.
+class Registry[] array
+class Entry   refs 1 data 16
+class Request refs 2 data 24
+class Scratch refs 1 data 32
+
+static registry
+
+method main locals 2
+  newarray Registry[] 8
+  store 0
+  load 0
+  putstatic registry
+
+  ; register four interned service names
+  load 0
+  intern Entry "svc.alpha"
+  putfield 0
+  load 0
+  intern Entry "svc.beta"
+  putfield 1
+
+  ; serve requests: a chain of 5 handler calls
+  call handle 0
+  pop
+  call handle 0
+  pop
+  call handle 0
+  pop
+  call handle 0
+  pop
+  call handle 0
+  pop
+  ret
+end
+
+; handle builds a request with scratch space, consults the registry,
+; and returns only the request; the scratch dies here.
+method handle locals 3
+  new Request
+  store 0
+  new Scratch
+  store 1
+  new Scratch
+  store 2
+  load 1
+  load 2
+  putfield 0          ; scratch chain
+  load 0
+  getstatic registry
+  getfield 0          ; read an interned entry (no contamination: §3.4)
+  putfield 1
+  load 0
+  areturn
+end
+`
+
+func main() {
+	prog, err := jasm.AssembleSource(program)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Disassembly:")
+	fmt.Print(prog.Disassemble())
+
+	cg := core.New(core.DefaultConfig())
+	rt := vm.New(heap.New(64<<10), cg)
+	if _, err := prog.Bind(rt).Run(); err != nil {
+		panic(err)
+	}
+	b := cg.Snapshot()
+	fmt.Println("\nUnder contaminated collection:")
+	fmt.Printf("  objects created:           %d\n", b.Created)
+	fmt.Printf("  collected at frame pops:   %d (%s)\n", b.Popped, stats.Pct(b.Popped, b.Created))
+	fmt.Printf("  static (registry+interns): %d\n", b.Static)
+	fmt.Printf("  traditional GC cycles:     %d\n", rt.GCCycles())
+}

@@ -1,0 +1,684 @@
+// Package core implements the paper's contribution: the contaminated
+// garbage (CG) collector.
+//
+// Every heap object is dynamically associated with a stack frame — its
+// dependent frame — such that the object is provably dead when that frame
+// pops (§2). Objects are partitioned into equilive sets maintained with
+// Tarjan union–find (union by rank, path compression); contamination
+// (one object referencing another) unions their sets, and the merged set
+// depends on the older of the two frames. Returning an object promotes
+// its set to the caller's frame; static references pin a set to the
+// immortal frame 0. When a frame pops, every set on its dependent list is
+// dead and is freed — or, under §3.7 recycling, spliced onto a recycle
+// list that feeds later allocations.
+//
+// CG is conservative: the symmetric treatment of contamination and the
+// never-younger rule can over-estimate lifetimes, so it runs in concert
+// with the traditional mark–sweep collector (internal/msa). During a full
+// collection CG rebuilds its structures from the mark traversal; with
+// Config.ResetOnGC it additionally *improves* dependent frames to the
+// youngest sound choice (§3.6).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/msa"
+	"repro/internal/unionfind"
+	"repro/internal/vm"
+)
+
+// Config selects the collector variants evaluated in the thesis.
+type Config struct {
+	// StaticOpt enables the §3.4 optimization: referencing an
+	// already-static object does not contaminate the referrer.
+	StaticOpt bool
+	// Recycle enables §3.7: popped equilive sets are kept as recycled
+	// storage that feeds allocation before the traditional collector
+	// runs.
+	Recycle bool
+	// TypedRecycle additionally maintains popped *singleton* sets by
+	// class, so an allocation of the same class is satisfied in O(1)
+	// instead of by first-fit search — the Chapter 6 future-work
+	// extension ("the equilive singleton sets could be maintained 'by
+	// type' ... such object recycling could have a big payoff").
+	// Implies Recycle.
+	TypedRecycle bool
+	// ResetOnGC enables §3.6: a traditional collection re-derives each
+	// live object's dependent frame from actual reachability, undoing
+	// accumulated conservativeness.
+	ResetOnGC bool
+	// Packed selects the §3.5 packed union-find representation (rank in
+	// the low bits of the parent word) instead of the wide one.
+	Packed bool
+	// Checked makes CG verify, on every event, that the touched objects
+	// are not on the tainted (known-dead) list (§3.1.4). A violation is
+	// a collector or runtime bug and panics.
+	Checked bool
+	// FreeHook, if non-nil, observes every object CG declares dead at a
+	// frame pop, before storage is released. Tests use it to check
+	// CG-dead objects against an exact reachability oracle.
+	FreeHook func(id heap.HandleID)
+}
+
+// DefaultConfig is the preferred configuration of the thesis: the static
+// optimization on, everything else off.
+func DefaultConfig() Config { return Config{StaticOpt: true} }
+
+// Stats aggregates CG activity. Counter semantics follow the thesis's
+// experiment chapter; see the per-field comments.
+type Stats struct {
+	Created    uint64    // objects allocated (incl. recycled reuses)
+	Popped     uint64    // objects collected by CG at frame pops (Fig 4.1 "collectable")
+	Singleton  uint64    // of Popped, objects in size-1 blocks (Fig 4.5/4.9 "exact")
+	Reused     uint64    // recycled objects handed back to the allocator (Fig 4.13)
+	MSAFreed   uint64    // objects the traditional collector swept (Fig 4.11 "collected by MSA")
+	Shared     uint64    // objects demoted to static due to thread sharing (Fig 4.2, A.1)
+	LessLive   uint64    // objects whose frame improved (aged down) during resetting (Fig 4.11)
+	FromStatic uint64    // of LessLive, objects that left the static set
+	BlockSize  [7]uint64 // collected-block sizes: 1,2,3,4,5,6–10,>10 (Fig 4.5)
+	AgeAtDeath [7]uint64 // birth-to-death frame distance: 0..5, >5 (Fig 4.6)
+	Unions     uint64    // contamination unions performed
+	OptSkips   uint64    // unions skipped by the §3.4 optimization
+}
+
+// objMeta is CG's per-handle metadata — the fields §3.1.1 adds to the JDK
+// handle (parent/rank live in the union-find forest; these are the rest).
+type objMeta struct {
+	birthFrame uint64        // frame ID of the allocating method
+	birthDepth int32         // stack depth at allocation ("birth depth")
+	owner      int32         // allocating thread ID; -1 once shared
+	flags      uint8         // taint / shared bits
+	next       heap.HandleID // next object in the equilive set's list
+	oldFrame   *vm.Frame     // scratch: dependent frame before a reset pass
+}
+
+const (
+	fTainted uint8 = 1 << iota // known dead (§3.1.4 tainted list)
+	fShared                    // demoted for thread sharing (§3.3), sticky
+)
+
+// setMeta describes one equilive set; it is valid only at the set's
+// union-find representative. Sets are chained into a doubly linked list
+// per dependent frame (§3.1.2: "each frame is equipped with a reference
+// to a list of its dependent equilive blocks").
+type setMeta struct {
+	head, tail heap.HandleID // object membership list (O(1) concat)
+	size       int32
+	frame      *vm.Frame     // dependent frame; the static frame pins forever
+	prev, next heap.HandleID // neighbours on the frame's set list (roots)
+}
+
+// CG is the contaminated collector. It implements vm.Collector and
+// msa.Hooks (the latter drives structure rebuilding during traditional
+// collections).
+type CG struct {
+	cfg  Config
+	rt   *vm.Runtime
+	heap *heap.Heap
+	msa  *msa.Collector
+	uf   unionfind.Forest
+
+	meta []objMeta
+	sets []setMeta
+
+	recycle []recycledSet
+	// byType holds recycled singleton objects keyed by class (Chapter 6
+	// typed recycling): a LIFO per class, each entry still heap-live.
+	byType map[heap.ClassID][]heap.HandleID
+	stats  Stats
+}
+
+// recycledSet is a dead equilive block awaiting reuse (§3.7). Membership
+// still threads through objMeta.next, but the descriptor is copied out of
+// the sets table: the set's former representative handle may itself be
+// reused, which would otherwise clobber the descriptor.
+type recycledSet struct {
+	head heap.HandleID
+	size int32
+}
+
+// New returns an unattached CG collector; pass it to vm.New.
+func New(cfg Config) *CG {
+	if cfg.TypedRecycle {
+		cfg.Recycle = true
+	}
+	c := &CG{cfg: cfg}
+	if cfg.TypedRecycle {
+		c.byType = make(map[heap.ClassID][]heap.HandleID)
+	}
+	return c
+}
+
+// Name implements vm.Collector.
+func (c *CG) Name() string {
+	n := "cg"
+	if c.cfg.Recycle {
+		n += "+recycle"
+	}
+	if c.cfg.ResetOnGC {
+		n += "+reset"
+	}
+	if !c.cfg.StaticOpt {
+		n += "-noopt"
+	}
+	return n
+}
+
+// Attach implements vm.Collector.
+func (c *CG) Attach(rt *vm.Runtime) {
+	c.rt = rt
+	c.heap = rt.Heap
+	c.msa = msa.New(rt)
+	if c.cfg.Packed {
+		c.uf = unionfind.NewPacked(0)
+	} else {
+		c.uf = unionfind.NewDSU(0)
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *CG) Stats() Stats { return c.stats }
+
+// MSAStats exposes the embedded traditional collector's counters.
+func (c *CG) MSAStats() msa.Stats { return c.msa.Stats() }
+
+// ensure grows the side tables to cover handle id.
+func (c *CG) ensure(id heap.HandleID) {
+	n := int(id)
+	c.uf.MakeSet(n)
+	for len(c.meta) <= n {
+		c.meta = append(c.meta, objMeta{})
+	}
+	for len(c.sets) <= n {
+		c.sets = append(c.sets, setMeta{})
+	}
+}
+
+// find returns the representative handle of id's equilive set.
+func (c *CG) find(id heap.HandleID) heap.HandleID {
+	return heap.HandleID(c.uf.Find(int(id)))
+}
+
+// linkSet pushes set root onto its dependent frame's list (the frame's
+// GCHead word, §3.1.2).
+func (c *CG) linkSet(root heap.HandleID) {
+	s := &c.sets[int(root)]
+	f := s.frame
+	s.prev, s.next = heap.Nil, f.GCHead
+	if f.GCHead != heap.Nil {
+		c.sets[int(f.GCHead)].prev = root
+	}
+	f.GCHead = root
+}
+
+// unlinkSet removes set root from its dependent frame's list.
+func (c *CG) unlinkSet(root heap.HandleID) {
+	s := &c.sets[int(root)]
+	if s.prev != heap.Nil {
+		c.sets[int(s.prev)].next = s.next
+	} else {
+		s.frame.GCHead = s.next
+	}
+	if s.next != heap.Nil {
+		c.sets[int(s.next)].prev = s.prev
+	}
+	s.prev, s.next = heap.Nil, heap.Nil
+}
+
+// retarget moves set root to depend on frame nf, relinking frame lists.
+func (c *CG) retarget(root heap.HandleID, nf *vm.Frame) {
+	c.unlinkSet(root)
+	c.sets[int(root)].frame = nf
+	c.linkSet(root)
+}
+
+// older returns the older (smaller-ID, longer-lived) of two frames.
+// Frame 0 — the static pseudo-frame — is oldest of all.
+func older(a, b *vm.Frame) *vm.Frame {
+	if a.ID <= b.ID {
+		return a
+	}
+	return b
+}
+
+// checkNotTainted enforces the §3.1.4 assurance in Checked mode: a dead
+// object flowing through a runtime event is a collector bug.
+func (c *CG) checkNotTainted(id heap.HandleID, op string) {
+	if c.cfg.Checked && int(id) < len(c.meta) && c.meta[int(id)].flags&fTainted != 0 {
+		panic(fmt.Sprintf("core: tainted object %d touched by %s", id, op))
+	}
+}
+
+// OnAlloc implements vm.Collector: a fresh object forms a singleton
+// equilive set dependent on the allocating frame.
+func (c *CG) OnAlloc(id heap.HandleID, f *vm.Frame) {
+	c.ensure(id)
+	c.uf.Reset(int(id))
+	owner := int32(0)
+	if f.Thread != nil {
+		owner = int32(f.Thread.ID)
+	}
+	c.meta[int(id)] = objMeta{
+		birthFrame: f.ID,
+		birthDepth: int32(f.Depth),
+		owner:      owner,
+	}
+	c.sets[int(id)] = setMeta{head: id, tail: id, size: 1, frame: f}
+	c.linkSet(id)
+	c.stats.Created++
+}
+
+// isStatic reports whether set root is pinned to the static frame.
+func (c *CG) isStatic(root heap.HandleID) bool {
+	return c.sets[int(root)].frame.ID == 0
+}
+
+// OnRef implements vm.Collector: src now references dst, so the two
+// contaminate each other (§2.1): their sets union, and the merged set
+// depends on the older frame.
+func (c *CG) OnRef(src, dst heap.HandleID) {
+	c.checkNotTainted(src, "putfield(src)")
+	c.checkNotTainted(dst, "putfield(dst)")
+	c.contaminate(src, dst)
+}
+
+// contaminate unions the sets of x and y. y is the *referenced* object;
+// under the §3.4 optimization, a reference *to* an already-static object
+// contaminates nothing (the static object cannot become more live, and it
+// holds no reference back to x).
+func (c *CG) contaminate(x, y heap.HandleID) {
+	rx, ry := c.find(x), c.find(y)
+	if rx == ry {
+		return
+	}
+	if c.cfg.StaticOpt && c.isStatic(ry) && !c.isStatic(rx) {
+		c.stats.OptSkips++
+		return
+	}
+	sx, sy := c.sets[int(rx)], c.sets[int(ry)]
+	c.unlinkSet(rx)
+	c.unlinkSet(ry)
+	root := heap.HandleID(c.uf.Union(int(rx), int(ry)))
+	// Concatenate membership lists (O(1) via tail pointers).
+	c.meta[int(sx.tail)].next = sy.head
+	c.sets[int(root)] = setMeta{
+		head:  sx.head,
+		tail:  sy.tail,
+		size:  sx.size + sy.size,
+		frame: older(sx.frame, sy.frame),
+	}
+	c.linkSet(root)
+	c.stats.Unions++
+}
+
+// OnStaticRef implements vm.Collector: dst's set becomes dependent on
+// frame 0 ("the referenced object's equilive block is added to the list
+// of frame-0 dependent blocks").
+func (c *CG) OnStaticRef(dst heap.HandleID) {
+	c.checkNotTainted(dst, "putstatic")
+	r := c.find(dst)
+	if c.isStatic(r) {
+		return
+	}
+	c.retarget(r, c.rt.StaticFrame())
+}
+
+// OnReturn implements vm.Collector: an object returned to its caller must
+// survive at least until the caller's frame pops ("the object's equilive
+// block is adjusted to depend on the caller's frame, unless the object is
+// already dependent on an older frame").
+func (c *CG) OnReturn(val heap.HandleID, caller *vm.Frame) {
+	c.checkNotTainted(val, "areturn")
+	r := c.find(val)
+	if c.sets[int(r)].frame.ID > caller.ID {
+		c.retarget(r, caller)
+	}
+}
+
+// OnAccess implements vm.Collector: thread-share detection (§3.3). The
+// first time an object is touched by a thread other than its allocator,
+// its whole equilive block is demoted to the static set, permanently.
+func (c *CG) OnAccess(id heap.HandleID, t *vm.Thread) {
+	c.checkNotTainted(id, "access")
+	if t == nil {
+		return
+	}
+	m := &c.meta[int(id)]
+	if m.flags&fShared != 0 || m.owner == int32(t.ID) {
+		return
+	}
+	r := c.find(id)
+	if c.isStatic(r) {
+		// The block is already immortal; just record this object as
+		// shared. (Avoids re-walking large static sets on every
+		// cross-thread touch.)
+		m.flags |= fShared
+		m.owner = -1
+		c.stats.Shared++
+		return
+	}
+	// Demote the entire block to the static set (§3.3).
+	for o := c.sets[int(r)].head; o != heap.Nil; o = c.meta[int(o)].next {
+		om := &c.meta[int(o)]
+		if om.flags&fShared == 0 {
+			om.flags |= fShared
+			om.owner = -1
+			c.stats.Shared++
+		}
+	}
+	c.retarget(r, c.rt.StaticFrame())
+}
+
+// OnFramePop implements vm.Collector: every equilive set dependent on the
+// popping frame is dead. Under recycling the sets are spliced onto the
+// recycle list in O(1); otherwise each object is freed to the heap.
+func (c *CG) OnFramePop(f *vm.Frame) int {
+	n := 0
+	for root := f.GCHead; root != heap.Nil; {
+		s := &c.sets[int(root)]
+		next := s.next
+		n += int(s.size)
+		c.collectSet(root, f)
+		root = next
+	}
+	f.GCHead = heap.Nil
+	return n
+}
+
+// collectSet records statistics for a dead set and releases (or recycles)
+// its objects.
+func (c *CG) collectSet(root heap.HandleID, f *vm.Frame) {
+	s := &c.sets[int(root)]
+	c.stats.BlockSize[sizeBucket(int(s.size))]++
+	singleton := s.size == 1
+	for o := s.head; o != heap.Nil; {
+		m := &c.meta[int(o)]
+		next := m.next
+		dist := int(m.birthDepth) - f.Depth
+		if dist < 0 {
+			dist = 0
+		}
+		c.stats.AgeAtDeath[ageBucket(dist)]++
+		c.stats.Popped++
+		if singleton {
+			c.stats.Singleton++
+		}
+		m.flags |= fTainted
+		if c.cfg.FreeHook != nil {
+			c.cfg.FreeHook(o)
+		}
+		if !c.cfg.Recycle {
+			c.heap.Free(o)
+		}
+		o = next
+	}
+	s.prev, s.next = heap.Nil, heap.Nil
+	if !c.cfg.Recycle {
+		return
+	}
+	if c.cfg.TypedRecycle && singleton {
+		// Chapter 6 typed recycling: singleton sets go to a per-class
+		// LIFO; "when a frame is popped, there would be a collection of
+		// free objects of a given type".
+		cls := c.heap.ClassOf(s.head)
+		c.byType[cls] = append(c.byType[cls], s.head)
+		return
+	}
+	c.recycle = append(c.recycle, recycledSet{head: s.head, size: s.size})
+}
+
+// sizeBucket maps a block size to Fig 4.5's histogram buckets.
+func sizeBucket(n int) int {
+	switch {
+	case n <= 5:
+		return n - 1
+	case n <= 10:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// ageBucket maps a frame distance to Fig 4.6's histogram buckets.
+func ageBucket(d int) int {
+	if d > 5 {
+		return 6
+	}
+	return d
+}
+
+// AllocFallback implements vm.Collector: the §3.7 recycling allocator — a
+// first-fit search over the recycled sets for a dead object whose extent
+// is large enough, reused in place via heap.Reinit.
+func (c *CG) AllocFallback(cls heap.ClassID, extra int) (heap.HandleID, bool) {
+	if !c.cfg.Recycle {
+		return heap.Nil, false
+	}
+	if c.cfg.TypedRecycle && extra == 0 {
+		// O(1) exact-class reuse: same class means same size, so no
+		// fit check is needed ("objects of a given type always take the
+		// same size (except for arrays)", Chapter 6).
+		if bucket := c.byType[cls]; len(bucket) > 0 {
+			o := bucket[len(bucket)-1]
+			c.byType[cls] = bucket[:len(bucket)-1]
+			if err := c.heap.Reinit(o, cls, 0); err != nil {
+				panic(err) // same class, same size: a failure is a bug
+			}
+			c.stats.Reused++
+			return o, true
+		}
+	}
+	need := heap.InstanceSize(c.heap.ClassDef(cls), extra)
+	for si := 0; si < len(c.recycle); si++ {
+		s := &c.recycle[si]
+		var prev heap.HandleID
+		for o := s.head; o != heap.Nil; o = c.meta[int(o)].next {
+			if c.heap.SizeOf(o) >= need {
+				// Unlink o from the set's membership list.
+				nxt := c.meta[int(o)].next
+				if prev == heap.Nil {
+					s.head = nxt
+				} else {
+					c.meta[int(prev)].next = nxt
+				}
+				s.size--
+				if s.size == 0 {
+					c.recycle[si] = c.recycle[len(c.recycle)-1]
+					c.recycle = c.recycle[:len(c.recycle)-1]
+				}
+				if err := c.heap.Reinit(o, cls, extra); err != nil {
+					panic(err) // size was checked; a failure is a bug
+				}
+				c.stats.Reused++
+				return o, true
+			}
+			prev = o
+		}
+	}
+	return heap.Nil, false
+}
+
+// Collect implements vm.Collector: run the traditional collector with
+// CG's rebuild hooks attached.
+func (c *CG) Collect() int { return c.msa.Collect(c) }
+
+// --- msa.Hooks: structure rebuilding during traditional collection ---
+//
+// Whether or not ResetOnGC is enabled, CG must rebuild its side
+// structures during a full collection: the sweep frees objects CG still
+// thought live, and union-find does not support deletion. The mark
+// traversal visits frames oldest-first (internal/msa), so the first frame
+// to reach an object is the oldest frame referencing it. With ResetOnGC
+// the object adopts that frame (the §3.6 improvement); without it the
+// object keeps its previous dependent frame, preserving plain-CG
+// conservativeness while still purging dead entries.
+
+// BeginCycle implements msa.Hooks.
+func (c *CG) BeginCycle() {
+	// Recycled storage is definitively dead: release it to the heap so
+	// the sweep's accounting sees only MSA-discovered garbage.
+	c.FlushRecycle()
+	// Stamp every live object's current dependent frame, then detach all
+	// sets from all frames: the mark phase rebuilds them.
+	seen := map[*vm.Frame]bool{}
+	c.rt.EachRootFrame(func(f *vm.Frame, _ []heap.HandleID) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for root := f.GCHead; root != heap.Nil; root = c.sets[int(root)].next {
+			s := &c.sets[int(root)]
+			for o := s.head; o != heap.Nil; o = c.meta[int(o)].next {
+				c.meta[int(o)].oldFrame = s.frame
+			}
+		}
+		f.GCHead = heap.Nil
+	})
+}
+
+// Reached implements msa.Hooks: a live object becomes a fresh singleton
+// set on its (possibly improved) dependent frame.
+func (c *CG) Reached(id heap.HandleID, f *vm.Frame) {
+	c.uf.Reset(int(id))
+	m := &c.meta[int(id)]
+	m.next = heap.Nil
+	nf := f
+	switch {
+	case m.flags&fShared != 0:
+		nf = c.rt.StaticFrame() // sharing demotion is sticky (§3.3)
+	case !c.cfg.ResetOnGC && m.oldFrame != nil:
+		nf = m.oldFrame // preserve plain-CG conservativeness
+	}
+	c.sets[int(id)] = setMeta{head: id, tail: id, size: 1, frame: nf}
+	c.linkSet(id)
+}
+
+// Edge implements msa.Hooks: connected live objects re-contaminate, so
+// the rebuilt partition obeys the same older-frame rule.
+func (c *CG) Edge(src, dst heap.HandleID) {
+	c.contaminate(src, dst)
+}
+
+// WillFree implements msa.Hooks: the object dropped out of CG's
+// structures and is collected by the sweep (Fig 4.11 "collected by MSA").
+func (c *CG) WillFree(id heap.HandleID) {
+	c.meta[int(id)].flags |= fTainted
+	c.stats.MSAFreed++
+}
+
+// EndCycle implements msa.Hooks: under ResetOnGC, measure how many
+// objects became "less live" than CG believed (Fig 4.11).
+func (c *CG) EndCycle(int) {
+	if !c.cfg.ResetOnGC {
+		return
+	}
+	c.heap.ForEachLive(func(id heap.HandleID) {
+		m := &c.meta[int(id)]
+		if m.oldFrame == nil {
+			return
+		}
+		nf := c.sets[int(c.find(id))].frame
+		if nf.ID > m.oldFrame.ID {
+			c.stats.LessLive++
+			if m.oldFrame.ID == 0 {
+				c.stats.FromStatic++
+			}
+		}
+		m.oldFrame = nil
+	})
+}
+
+// FlushRecycle releases all recycled-but-unused storage back to the heap.
+// The runtime calls Collect (which flushes) on exhaustion; experiments
+// call this at end-of-run so heap accounting balances.
+func (c *CG) FlushRecycle() {
+	for _, s := range c.recycle {
+		for o := s.head; o != heap.Nil; {
+			next := c.meta[int(o)].next
+			c.heap.Free(o)
+			o = next
+		}
+	}
+	c.recycle = c.recycle[:0]
+	for cls, bucket := range c.byType {
+		for _, o := range bucket {
+			c.heap.Free(o)
+		}
+		delete(c.byType, cls)
+	}
+}
+
+// RecycledObjects counts objects currently waiting on the recycle list
+// (general first-fit list plus the typed buckets).
+func (c *CG) RecycledObjects() int {
+	n := 0
+	for _, s := range c.recycle {
+		n += int(s.size)
+	}
+	for _, bucket := range c.byType {
+		n += len(bucket)
+	}
+	return n
+}
+
+// DependentFrame reports the current dependent frame of a live object —
+// the observable the worked example (Fig 2.1/2.2) and the tests inspect.
+func (c *CG) DependentFrame(id heap.HandleID) *vm.Frame {
+	return c.sets[int(c.find(id))].frame
+}
+
+// SetSize reports the size of id's equilive set.
+func (c *CG) SetSize(id heap.HandleID) int {
+	return int(c.sets[int(c.find(id))].size)
+}
+
+// SameSet reports whether two objects are equilive.
+func (c *CG) SameSet(a, b heap.HandleID) bool { return c.find(a) == c.find(b) }
+
+// IsTainted reports whether CG has declared id dead.
+func (c *CG) IsTainted(id heap.HandleID) bool {
+	return int(id) < len(c.meta) && c.meta[int(id)].flags&fTainted != 0
+}
+
+// Breakdown is the Fig A.2–A.4 object classification at end of run:
+// every created object is popped (CG-collected), static (live in the
+// frame-0 set), thread (demoted for sharing), or msa (swept by the
+// traditional collector).
+type Breakdown struct {
+	Created uint64
+	Popped  uint64
+	Static  uint64
+	Thread  uint64
+	MSA     uint64
+	Live    uint64 // live objects not on the static frame (mid-run snapshots)
+}
+
+// Snapshot classifies all objects created so far. Call after the
+// workload's frames have all popped for end-of-run semantics.
+func (c *CG) Snapshot() Breakdown {
+	b := Breakdown{
+		Created: c.stats.Created,
+		Popped:  c.stats.Popped,
+		MSA:     c.stats.MSAFreed,
+		Thread:  c.stats.Shared,
+	}
+	c.heap.ForEachLive(func(id heap.HandleID) {
+		m := &c.meta[int(id)]
+		if m.flags&fTainted != 0 || m.flags&fShared != 0 {
+			return // recycled-awaiting-reuse or already counted as thread
+		}
+		if c.isStatic(c.find(id)) {
+			b.Static++
+		} else {
+			b.Live++
+		}
+	})
+	return b
+}
+
+var (
+	_ vm.Collector = (*CG)(nil)
+	_ msa.Hooks    = (*CG)(nil)
+)

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// parse pulls the data rows out of a rendered table (skips title,
+// header, rule and notes).
+func rows(s string) [][]string {
+	var out [][]string
+	for i, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		if i < 3 || strings.HasPrefix(line, " ") {
+			continue
+		}
+		out = append(out, strings.Fields(line))
+	}
+	return out
+}
+
+func TestFig41Shape(t *testing.T) {
+	tb := Fig41().String()
+	rs := rows(tb)
+	if len(rs) != 8 {
+		t.Fatalf("Fig 4.1 must have 8 rows, got %d:\n%s", len(rs), tb)
+	}
+	// The optimization must never reduce the collectable percentage.
+	for _, r := range rs {
+		no := r[len(r)-2]
+		with := r[len(r)-1]
+		if pctVal(t, with) < pctVal(t, no) {
+			t.Fatalf("optimization reduced collectable on %s: %s -> %s", r[0], no, with)
+		}
+	}
+}
+
+func pctVal(t *testing.T, s string) int {
+	t.Helper()
+	v := 0
+	if _, err := sscanPct(s, &v); err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v
+}
+
+func sscanPct(s string, v *int) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	*v = n
+	return 1, nil
+}
+
+func TestFig42HasJavacThreadShare(t *testing.T) {
+	tb := Fig42_44(1).String()
+	for _, r := range rows(tb) {
+		if r[0] == "javac" {
+			var share int
+			sscanPct(r[len(r)-1], &share)
+			if share < 30 {
+				t.Fatalf("javac thread share = %d%%, want the dominant bucket:\n%s", share, tb)
+			}
+			return
+		}
+	}
+	t.Fatalf("javac row missing:\n%s", tb)
+}
+
+func TestFig45RowsSumToCollectable(t *testing.T) {
+	tb := Fig45().String()
+	if len(rows(tb)) != 8 {
+		t.Fatalf("Fig 4.5 must have 8 rows:\n%s", tb)
+	}
+}
+
+func TestFig46RaytraceDeepDeaths(t *testing.T) {
+	tb := Fig46().String()
+	for _, r := range rows(tb) {
+		if r[0] == "raytrace" {
+			var over5 int
+			sscanPct(r[len(r)-1], &over5)
+			if over5 == 0 {
+				t.Fatalf("raytrace must populate the >5 bucket:\n%s", tb)
+			}
+			return
+		}
+	}
+	t.Fatal("raytrace row missing")
+}
+
+func TestFig49LargeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large runs in -short mode")
+	}
+	tb := Fig49().String()
+	if len(rows(tb)) != 8 {
+		t.Fatalf("Fig 4.9 must have 8 rows:\n%s", tb)
+	}
+}
+
+func TestFig411ResettingRuns(t *testing.T) {
+	tb := Fig411().String()
+	rs := rows(tb)
+	if len(rs) != 8 {
+		t.Fatalf("Fig 4.11 must have 8 rows:\n%s", tb)
+	}
+	// At least one benchmark must actually have triggered forced cycles.
+	cycles := 0
+	for _, r := range rs {
+		var c int
+		sscanPct(r[len(r)-1], &c)
+		cycles += c
+	}
+	if cycles == 0 {
+		t.Fatalf("no forced GC cycles ran:\n%s", tb)
+	}
+}
+
+func TestFig413RecyclingCountsSomething(t *testing.T) {
+	tb := Fig413().String()
+	rs := rows(tb)
+	if len(rs) != 8 {
+		t.Fatalf("Fig 4.13 must have 8 rows:\n%s", tb)
+	}
+	total := 0
+	for _, r := range rs {
+		var c int
+		sscanPct(r[1], &c)
+		total += c
+	}
+	if total == 0 {
+		t.Fatalf("no benchmark recycled any object:\n%s", tb)
+	}
+}
+
+func TestFigA1(t *testing.T) {
+	tb := FigA1().String()
+	if len(rows(tb)) != 8 {
+		t.Fatalf("Fig A.1 must have 8 rows:\n%s", tb)
+	}
+}
+
+func TestFigA2Breakdown(t *testing.T) {
+	tb := FigA2_4(1).String()
+	if len(rows(tb)) != 8 {
+		t.Fatalf("Fig A.2 must have 8 rows:\n%s", tb)
+	}
+}
+
+func TestExample21Narrative(t *testing.T) {
+	out := Example21()
+	for _, want := range []string{
+		"(1) B.f=A", "(4) E.f=D", "A->frame 0",
+		"contamination cannot be undone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("example trace missing %q:\n%s", want, out)
+		}
+	}
+	// After step 1, A depends on frame 2.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "(1) B.f=A") && !strings.Contains(line, "A->frame 2") {
+			t.Fatalf("step 1 must move A to frame 2: %s", line)
+		}
+		if strings.Contains(line, "(2) C.f=B") && !strings.Contains(line, "A->frame 1") {
+			t.Fatalf("step 2 must move A to frame 1: %s", line)
+		}
+	}
+}
+
+func TestExample31Narrative(t *testing.T) {
+	out := Example31()
+	if !strings.Contains(out, "static forever") || !strings.Contains(out, "sharing: 1") {
+		t.Fatalf("sharing example wrong:\n%s", out)
+	}
+}
+
+func TestTimingSmokeTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing in -short mode")
+	}
+	tb := Fig47_48(1).String()
+	if len(rows(tb)) != 8 {
+		t.Fatalf("Fig 4.7 must have 8 rows:\n%s", tb)
+	}
+	tb = Fig412().String()
+	if len(rows(tb)) != 8 {
+		t.Fatalf("Fig 4.12 must have 8 rows:\n%s", tb)
+	}
+}

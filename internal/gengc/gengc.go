@@ -1,0 +1,263 @@
+// Package gengc implements a two-generation collector, the related-work
+// baseline the thesis positions CG against (§1.1: "traditional
+// generational collection defines a generation by the longevity of its
+// objects"). It exists for the ablation benchmarks: CG clusters objects
+// by *expected expiration* (dependent frames), generational collection by
+// *age* — the experiments contrast the two on identical workloads.
+//
+// Design: objects are born young; a minor collection marks the young
+// generation from the runtime roots plus a remembered set of old objects
+// holding references into the young generation (maintained by the OnRef
+// write barrier), sweeps unmarked young objects, and promotes survivors
+// after PromoteAfter minor cycles. When a minor collection reclaims
+// little, a major (full mark–sweep) collection runs and the remembered
+// set is rebuilt by scanning the old generation.
+package gengc
+
+import (
+	"repro/internal/heap"
+	"repro/internal/vm"
+)
+
+// PromoteAfter is the number of minor collections an object must survive
+// before promotion to the old generation.
+const PromoteAfter = 2
+
+// minorYieldNum/minorYieldDen: a minor collection that frees fewer than
+// num/den of the young population triggers a major collection.
+const (
+	minorYieldNum = 1
+	minorYieldDen = 10
+)
+
+// Stats aggregates generational activity.
+type Stats struct {
+	Minor      int    // minor cycles
+	Major      int    // major cycles
+	FreedYoung uint64 // objects reclaimed by minor collections
+	FreedOld   uint64 // objects reclaimed by major collections (both gens)
+	Promoted   uint64 // young objects tenured
+	Remembered uint64 // write-barrier insertions
+}
+
+// System is the generational collector; it implements vm.Collector.
+type System struct {
+	vm.BaseCollector
+	rt *vm.Runtime
+
+	old        []bool // generation bit per handle
+	survivals  []uint8
+	mark       []bool
+	remembered map[heap.HandleID]struct{} // old objects that may reference young
+	work       []heap.HandleID
+	stats      Stats
+}
+
+// New returns an unattached generational system; pass it to vm.New.
+func New() *System { return &System{remembered: make(map[heap.HandleID]struct{})} }
+
+// Name implements vm.Collector.
+func (g *System) Name() string { return "gen" }
+
+// Attach implements vm.Collector.
+func (g *System) Attach(rt *vm.Runtime) { g.rt = rt }
+
+// Stats returns a copy of the counters.
+func (g *System) Stats() Stats { return g.stats }
+
+func (g *System) ensure(id heap.HandleID) {
+	for len(g.old) <= int(id) {
+		g.old = append(g.old, false)
+		g.survivals = append(g.survivals, 0)
+	}
+}
+
+// OnAlloc implements vm.Collector: objects are born young.
+func (g *System) OnAlloc(id heap.HandleID, _ *vm.Frame) {
+	g.ensure(id)
+	g.old[int(id)] = false
+	g.survivals[int(id)] = 0
+	delete(g.remembered, id) // handle reuse
+}
+
+// OnRef implements vm.Collector: the write barrier. An old object
+// acquiring a reference to a young one joins the remembered set.
+func (g *System) OnRef(src, dst heap.HandleID) {
+	if g.old[int(src)] && !g.old[int(dst)] {
+		if _, ok := g.remembered[src]; !ok {
+			g.remembered[src] = struct{}{}
+			g.stats.Remembered++
+		}
+	}
+}
+
+// Collect implements vm.Collector: minor first, escalating to major when
+// the minor yield is poor.
+func (g *System) Collect() int {
+	young := 0
+	g.rt.Heap.ForEachLive(func(id heap.HandleID) {
+		if !g.old[int(id)] {
+			young++
+		}
+	})
+	freed := g.minor()
+	if freed*minorYieldDen < young*minorYieldNum {
+		freed += g.major()
+	}
+	return freed
+}
+
+func (g *System) resetMarks() {
+	cap := g.rt.Heap.HandleCap()
+	if len(g.mark) < cap {
+		g.mark = make([]bool, cap)
+		return
+	}
+	for i := range g.mark {
+		g.mark[i] = false
+	}
+}
+
+// minor collects the young generation only.
+func (g *System) minor() int {
+	g.stats.Minor++
+	h := g.rt.Heap
+	g.resetMarks()
+	// Roots: stacks and statics, traversing young objects only.
+	g.rt.EachRootFrame(func(_ *vm.Frame, roots []heap.HandleID) {
+		for _, r := range roots {
+			if r != heap.Nil {
+				g.markYoung(r)
+			}
+		}
+	})
+	// Remembered set: old objects whose fields may reach young objects.
+	for src := range g.remembered {
+		if h.Live(src) && g.old[int(src)] {
+			h.Refs(src, g.markYoung)
+		}
+	}
+	// Sweep unmarked young; age and possibly promote survivors.
+	freed := 0
+	h.ForEachLive(func(id heap.HandleID) {
+		i := int(id)
+		if g.old[i] {
+			return
+		}
+		if !g.mark[i] {
+			h.Free(id)
+			freed++
+			return
+		}
+		if g.survivals[i]++; g.survivals[i] >= PromoteAfter {
+			g.promote(id)
+		}
+	})
+	g.stats.FreedYoung += uint64(freed)
+	return freed
+}
+
+// markYoung marks young objects reachable from id without crossing into
+// the old generation (old→young edges are covered by the remembered set).
+func (g *System) markYoung(id heap.HandleID) {
+	if g.old[int(id)] || g.mark[int(id)] {
+		return
+	}
+	h := g.rt.Heap
+	g.mark[int(id)] = true
+	g.work = append(g.work[:0], id)
+	for len(g.work) > 0 {
+		src := g.work[len(g.work)-1]
+		g.work = g.work[:len(g.work)-1]
+		h.Refs(src, func(dst heap.HandleID) {
+			if !g.old[int(dst)] && !g.mark[int(dst)] {
+				g.mark[int(dst)] = true
+				g.work = append(g.work, dst)
+			}
+		})
+	}
+}
+
+// promote tenures id, adding it to the remembered set if it still holds
+// references into the young generation.
+func (g *System) promote(id heap.HandleID) {
+	g.old[int(id)] = true
+	g.stats.Promoted++
+	pointsYoung := false
+	g.rt.Heap.Refs(id, func(dst heap.HandleID) {
+		if !g.old[int(dst)] {
+			pointsYoung = true
+		}
+	})
+	if pointsYoung {
+		if _, ok := g.remembered[id]; !ok {
+			g.remembered[id] = struct{}{}
+			g.stats.Remembered++
+		}
+	}
+}
+
+// major is a full mark–sweep over both generations, after which the
+// remembered set is rebuilt from the surviving old generation.
+func (g *System) major() int {
+	g.stats.Major++
+	h := g.rt.Heap
+	g.resetMarks()
+	g.rt.EachRootFrame(func(_ *vm.Frame, roots []heap.HandleID) {
+		for _, r := range roots {
+			if r != heap.Nil {
+				g.markAll(r)
+			}
+		}
+	})
+	freed := 0
+	h.ForEachLive(func(id heap.HandleID) {
+		if !g.mark[int(id)] {
+			h.Free(id)
+			delete(g.remembered, id)
+			freed++
+		}
+	})
+	g.stats.FreedOld += uint64(freed)
+	// Rebuild the remembered set exactly.
+	for k := range g.remembered {
+		delete(g.remembered, k)
+	}
+	h.ForEachLive(func(id heap.HandleID) {
+		if !g.old[int(id)] {
+			return
+		}
+		pointsYoung := false
+		h.Refs(id, func(dst heap.HandleID) {
+			if !g.old[int(dst)] {
+				pointsYoung = true
+			}
+		})
+		if pointsYoung {
+			g.remembered[id] = struct{}{}
+		}
+	})
+	return freed
+}
+
+// markAll marks everything reachable from id across both generations.
+func (g *System) markAll(id heap.HandleID) {
+	if g.mark[int(id)] {
+		return
+	}
+	h := g.rt.Heap
+	g.mark[int(id)] = true
+	g.work = append(g.work[:0], id)
+	for len(g.work) > 0 {
+		src := g.work[len(g.work)-1]
+		g.work = g.work[:len(g.work)-1]
+		h.Refs(src, func(dst heap.HandleID) {
+			if !g.mark[int(dst)] {
+				g.mark[int(dst)] = true
+				g.work = append(g.work, dst)
+			}
+		})
+	}
+}
+
+var _ vm.Collector = (*System)(nil)

@@ -1,0 +1,198 @@
+package gengc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/vm"
+)
+
+func newRT(arena int) (*vm.Runtime, *System, heap.ClassID) {
+	h := heap.New(arena)
+	node := h.DefineClass(heap.Class{Name: "Node", Refs: 2, Data: 8})
+	g := New()
+	rt := vm.New(h, g)
+	return rt, g, node
+}
+
+func TestMinorCollectsYoungGarbage(t *testing.T) {
+	rt, g, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	keep := f.MustNew(node)
+	f.SetLocal(0, keep)
+	th.CallVoid(0, func(inner *vm.Frame) {
+		for i := 0; i < 20; i++ {
+			inner.MustNew(node) // dropped on the floor
+		}
+	})
+	freed := g.Collect()
+	if freed != 20 {
+		t.Fatalf("freed %d, want 20", freed)
+	}
+	if !rt.Heap.Live(keep) {
+		t.Fatal("rooted young object swept")
+	}
+	if g.Stats().Minor == 0 {
+		t.Fatal("no minor cycle recorded")
+	}
+}
+
+func TestSurvivorsPromote(t *testing.T) {
+	rt, g, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	keep := f.MustNew(node)
+	f.SetLocal(0, keep)
+	for i := 0; i < PromoteAfter; i++ {
+		g.Collect()
+	}
+	if !g.old[int(keep)] {
+		t.Fatalf("object not promoted after %d survivals", PromoteAfter)
+	}
+	if g.Stats().Promoted == 0 {
+		t.Fatal("promotion counter untouched")
+	}
+	_ = rt
+}
+
+// TestRememberedSetKeepsYoungAlive is the classic generational hazard:
+// an old object is the only referent of a young one. Without the write
+// barrier the minor collection would sweep the young object.
+func TestRememberedSetKeepsYoungAlive(t *testing.T) {
+	rt, g, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	oldObj := f.MustNew(node)
+	f.SetLocal(0, oldObj)
+	for i := 0; i < PromoteAfter; i++ {
+		g.Collect()
+	}
+	if !g.old[int(oldObj)] {
+		t.Fatal("setup: object not tenured")
+	}
+	var young heap.HandleID
+	th.CallVoid(0, func(inner *vm.Frame) {
+		young = inner.MustNew(node)
+		inner.PutField(oldObj, 0, young) // old -> young edge, via write barrier
+	})
+	// The young object has no root other than the old object's field.
+	g.minor()
+	if !rt.Heap.Live(young) {
+		t.Fatal("minor collection swept a remembered-set-reachable object")
+	}
+	// Cut the edge: now it must die.
+	f.PutField(oldObj, 0, heap.Nil)
+	g.minor()
+	if rt.Heap.Live(young) {
+		t.Fatal("unreachable young object survived")
+	}
+}
+
+func TestMajorCollectsOldGarbage(t *testing.T) {
+	rt, g, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	o := f.MustNew(node)
+	f.SetLocal(0, o)
+	for i := 0; i < PromoteAfter; i++ {
+		g.Collect()
+	}
+	f.SetLocal(0, heap.Nil) // tenured garbage: only a major pass finds it
+	f.Forget(o)             // drop the JNI-style local reference too
+	if g.minor() != 0 {
+		t.Fatal("minor collection touched the old generation")
+	}
+	if rt.Heap.Live(o) {
+		if g.major() == 0 {
+			t.Fatal("major collection missed tenured garbage")
+		}
+	}
+	if rt.Heap.Live(o) {
+		t.Fatal("tenured garbage survived a major collection")
+	}
+}
+
+// TestGenerationalExactnessOracle: after a full Collect escalation the
+// survivor set equals exact reachability (majors are exact; minors are
+// conservative only across generations).
+func TestGenerationalExactnessOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	rt, g, node := newRT(1 << 18)
+	th := rt.NewThread(4)
+	f := th.Top()
+	var objs []heap.HandleID
+	for round := 0; round < 5; round++ {
+		// Each round's graph is built in a nested frame so operand
+		// roots die with it; survivors hang off the outer locals.
+		th.CallVoid(0, func(inner *vm.Frame) {
+			for i := 0; i < 100; i++ {
+				objs = append(objs, inner.MustNew(node))
+			}
+			for i := 0; i < 150; i++ {
+				live := objs[:0]
+				for _, o := range objs {
+					if rt.Heap.Live(o) {
+						live = append(live, o)
+					}
+				}
+				objs = live
+				if len(objs) < 2 {
+					break
+				}
+				inner.PutField(objs[rng.Intn(len(objs))], rng.Intn(2), objs[rng.Intn(len(objs))])
+			}
+			for i := 0; i < 4; i++ {
+				if len(objs) > 0 {
+					f.SetLocal(i, objs[rng.Intn(len(objs))])
+				}
+			}
+		})
+		g.Collect()
+	}
+	// Force a major pass, then compare against the oracle.
+	g.major()
+	reach := make(map[heap.HandleID]bool)
+	var queue []heap.HandleID
+	push := func(id heap.HandleID) {
+		if id != heap.Nil && !reach[id] {
+			reach[id] = true
+			queue = append(queue, id)
+		}
+	}
+	rt.EachRootFrame(func(_ *vm.Frame, roots []heap.HandleID) {
+		for _, r := range roots {
+			push(r)
+		}
+	})
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		rt.Heap.Refs(id, push)
+	}
+	if rt.Heap.NumLive() != len(reach) {
+		t.Fatalf("live %d != reachable %d after major", rt.Heap.NumLive(), len(reach))
+	}
+}
+
+func TestHandleReuseResetsGeneration(t *testing.T) {
+	rt, g, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	o := f.MustNew(node)
+	f.SetLocal(0, o)
+	for i := 0; i < PromoteAfter; i++ {
+		g.Collect()
+	}
+	f.SetLocal(0, heap.Nil)
+	f.Forget(o)
+	g.major() // frees the tenured object, handle returns to the pool
+	n := f.MustNew(node)
+	if n != o {
+		t.Skipf("heap did not reuse the handle (got %d, want %d)", n, o)
+	}
+	if g.old[int(n)] {
+		t.Fatal("recycled handle inherited old-generation bit")
+	}
+}

@@ -1,0 +1,167 @@
+// Package heap implements the managed-heap substrate the contaminated
+// garbage collector runs against: a class table, a handle table (Sun's
+// JDK 1.1.8 managed objects through handles, §3.1), and a virtual-address
+// arena governed by a first-fit allocator with a rotating cursor and
+// neighbour coalescing — the same allocation policy §3.7 describes for the
+// JDK ("a linear search through the object pool to find the first object
+// that is at least as big as requested … keeps track of the last location
+// where it allocated").
+//
+// The arena is *virtual*: no payload bytes are stored, only extents, which
+// is sufficient because CG's behaviour depends on addresses, sizes,
+// fragmentation and exhaustion, not on object contents. Reference fields
+// live in the handle table, mirroring the JDK split between handle space
+// and object space.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrOutOfMemory is returned by Arena.Alloc and Heap.Alloc when no free
+// span can satisfy a request. The runtime reacts by invoking the collector
+// and retrying, exactly as the JDK allocator runs MSA on failure.
+var ErrOutOfMemory = errors.New("heap: out of memory")
+
+// span is a free extent [addr, addr+size).
+type span struct {
+	addr, size int
+}
+
+// Arena is a first-fit allocator over a virtual address range [0, size).
+// Free spans are kept sorted by address; allocation scans from a rotating
+// cursor (the remembered last-allocation position) and wraps once before
+// failing, reproducing the JDK 1.1.8 policy that §4.8 analyses.
+type Arena struct {
+	size   int
+	free   []span // sorted by addr, never adjacent (always coalesced)
+	cursor int    // address just past the last allocation; scans start here
+	inUse  int    // allocated bytes
+}
+
+// NewArena returns an arena spanning [0, size) bytes, entirely free.
+func NewArena(size int) *Arena {
+	if size <= 0 {
+		panic(fmt.Sprintf("heap: non-positive arena size %d", size))
+	}
+	return &Arena{size: size, free: []span{{0, size}}}
+}
+
+// Size reports the arena's total byte capacity.
+func (a *Arena) Size() int { return a.size }
+
+// InUse reports currently allocated bytes.
+func (a *Arena) InUse() int { return a.inUse }
+
+// FreeBytes reports currently free bytes.
+func (a *Arena) FreeBytes() int { return a.size - a.inUse }
+
+// FreeSpans reports the number of discontiguous free extents — a direct
+// fragmentation measure.
+func (a *Arena) FreeSpans() int { return len(a.free) }
+
+// LargestFree reports the largest single free extent.
+func (a *Arena) LargestFree() int {
+	max := 0
+	for _, s := range a.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}
+
+// Alloc carves size bytes out of the first fitting free span at or after
+// the cursor, wrapping to the start once. It returns the extent's base
+// address or ErrOutOfMemory.
+func (a *Arena) Alloc(size int) (int, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("heap: invalid allocation size %d", size)
+	}
+	n := len(a.free)
+	start := sort.Search(n, func(i int) bool { return a.free[i].addr >= a.cursor })
+	for probe := 0; probe < n; probe++ {
+		i := start + probe
+		if i >= n {
+			i -= n
+		}
+		if a.free[i].size < size {
+			continue
+		}
+		addr := a.free[i].addr
+		if a.free[i].size == size {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i].addr += size
+			a.free[i].size -= size
+		}
+		a.cursor = addr + size
+		a.inUse += size
+		return addr, nil
+	}
+	return 0, ErrOutOfMemory
+}
+
+// Free returns the extent [addr, addr+size) to the free pool, coalescing
+// with adjacent free spans ("tries to coalesce two contiguous objects",
+// §3.7).
+func (a *Arena) Free(addr, size int) {
+	if size <= 0 || addr < 0 || addr+size > a.size {
+		panic(fmt.Sprintf("heap: bad free [%d,%d) in arena of %d", addr, addr+size, a.size))
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr >= addr })
+	// Overlap checks guard the no-overlap invariant (DESIGN.md §5.5).
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size > addr {
+		panic(fmt.Sprintf("heap: double free or overlap at %d", addr))
+	}
+	if i < len(a.free) && addr+size > a.free[i].addr {
+		panic(fmt.Sprintf("heap: double free or overlap at %d", addr))
+	}
+	mergeLeft := i > 0 && a.free[i-1].addr+a.free[i-1].size == addr
+	mergeRight := i < len(a.free) && a.free[i].addr == addr+size
+	switch {
+	case mergeLeft && mergeRight:
+		a.free[i-1].size += size + a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	case mergeLeft:
+		a.free[i-1].size += size
+	case mergeRight:
+		a.free[i].addr = addr
+		a.free[i].size += size
+	default:
+		a.free = append(a.free, span{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = span{addr, size}
+	}
+	a.inUse -= size
+}
+
+// checkInvariants validates the sorted/coalesced/accounted structure. It
+// is exported to the package's tests via arena_test.go.
+func (a *Arena) checkInvariants() error {
+	freeSum := 0
+	for i, s := range a.free {
+		if s.size <= 0 {
+			return fmt.Errorf("span %d has size %d", i, s.size)
+		}
+		if s.addr < 0 || s.addr+s.size > a.size {
+			return fmt.Errorf("span %d out of range: [%d,%d)", i, s.addr, s.addr+s.size)
+		}
+		if i > 0 {
+			prev := a.free[i-1]
+			if prev.addr+prev.size > s.addr {
+				return fmt.Errorf("spans %d,%d overlap", i-1, i)
+			}
+			if prev.addr+prev.size == s.addr {
+				return fmt.Errorf("spans %d,%d not coalesced", i-1, i)
+			}
+		}
+		freeSum += s.size
+	}
+	if freeSum+a.inUse != a.size {
+		return fmt.Errorf("accounting: free %d + inUse %d != size %d", freeSum, a.inUse, a.size)
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package heap
+
+import (
+	"fmt"
+)
+
+// HandleID names an object through its handle-table slot. ID 0 is the
+// null reference, mirroring the JVM's null.
+type HandleID int32
+
+// Nil is the null reference.
+const Nil HandleID = 0
+
+// ClassID indexes the class table.
+type ClassID int32
+
+// Class describes an object layout: how many reference slots instances
+// carry and how many additional payload (primitive) bytes. Arrays are
+// classes with IsArray set; their element count is chosen per allocation.
+type Class struct {
+	Name    string
+	Refs    int  // reference slots per instance
+	Data    int  // primitive payload bytes per instance
+	IsArray bool // element count supplied at Alloc time
+}
+
+// headerBytes models the JVM object header.
+const headerBytes = 8
+
+// refBytes models one reference slot (handle index) in the object body.
+const refBytes = 4
+
+// align rounds sizes to 8-byte boundaries, as the JDK allocator does.
+func align(n int) int { return (n + 7) &^ 7 }
+
+// InstanceSize reports the arena footprint of an instance of c with
+// extra additional reference slots (array elements).
+func InstanceSize(c Class, extra int) int {
+	return align(headerBytes + (c.Refs+extra)*refBytes + c.Data)
+}
+
+// handle is one slot of the handle table: the indirection cell through
+// which all references pass (§3.1: "Each handle contains a pointer to the
+// object's current location …").
+type handle struct {
+	class ClassID
+	addr  int
+	size  int
+	refs  []HandleID
+	live  bool
+	birth uint64 // allocation sequence number
+}
+
+// Stats aggregates heap-level counters.
+type Stats struct {
+	Allocs      uint64 // successful allocations
+	Frees       uint64 // explicit frees (CG or MSA)
+	FailedAlloc uint64 // allocations that saw ErrOutOfMemory at least once
+	BytesAlloc  uint64 // cumulative bytes allocated
+}
+
+// Heap combines the class table, handle table and arena.
+// Create one with New.
+type Heap struct {
+	classes []Class
+	byName  map[string]ClassID
+	handles []handle
+	freeIDs []HandleID
+	arena   *Arena
+	stats   Stats
+	seq     uint64
+}
+
+// New returns a heap whose object space spans arenaBytes.
+func New(arenaBytes int) *Heap {
+	h := &Heap{
+		arena:   NewArena(arenaBytes),
+		byName:  make(map[string]ClassID),
+		handles: make([]handle, 1), // slot 0 = Nil, never used
+	}
+	return h
+}
+
+// DefineClass registers a class and returns its ID. Redefining a name
+// returns the existing ID if the layout matches and panics otherwise —
+// class tables are append-only in the JVM too.
+func (h *Heap) DefineClass(c Class) ClassID {
+	if id, ok := h.byName[c.Name]; ok {
+		if h.classes[id] != c {
+			panic(fmt.Sprintf("heap: conflicting redefinition of class %q", c.Name))
+		}
+		return id
+	}
+	id := ClassID(len(h.classes))
+	h.classes = append(h.classes, c)
+	h.byName[c.Name] = id
+	return id
+}
+
+// ClassByName looks a class up; ok is false if undefined.
+func (h *Heap) ClassByName(name string) (ClassID, bool) {
+	id, ok := h.byName[name]
+	return id, ok
+}
+
+// ClassOf reports the class of a live object.
+func (h *Heap) ClassOf(id HandleID) ClassID { return h.h(id).class }
+
+// ClassDef returns the class descriptor.
+func (h *Heap) ClassDef(c ClassID) Class { return h.classes[int(c)] }
+
+// Arena exposes the underlying allocator (read-mostly; the VM's GC
+// trigger inspects occupancy).
+func (h *Heap) Arena() *Arena { return h.arena }
+
+// Stats returns a copy of the counters.
+func (h *Heap) Stats() Stats { return h.stats }
+
+// h returns the handle record for id, panicking on null or stale IDs:
+// handle discipline violations are runtime bugs, not user errors.
+func (h *Heap) h(id HandleID) *handle {
+	if id == Nil {
+		panic("heap: null handle dereference")
+	}
+	hd := &h.handles[int(id)]
+	if !hd.live {
+		panic(fmt.Sprintf("heap: dangling handle %d", id))
+	}
+	return hd
+}
+
+// Alloc creates an instance of class c with extra additional reference
+// slots (used for reference arrays; zero for plain objects), returning
+// its handle. On arena exhaustion it returns ErrOutOfMemory without side
+// effects, so the runtime can collect and retry.
+func (h *Heap) Alloc(c ClassID, extra int) (HandleID, error) {
+	cls := h.classes[int(c)]
+	if extra != 0 && !cls.IsArray {
+		return Nil, fmt.Errorf("heap: class %q is not an array class", cls.Name)
+	}
+	size := InstanceSize(cls, extra)
+	addr, err := h.arena.Alloc(size)
+	if err != nil {
+		h.stats.FailedAlloc++
+		return Nil, err
+	}
+	var id HandleID
+	if n := len(h.freeIDs); n > 0 {
+		id = h.freeIDs[n-1]
+		h.freeIDs = h.freeIDs[:n-1]
+	} else {
+		h.handles = append(h.handles, handle{})
+		id = HandleID(len(h.handles) - 1)
+	}
+	h.seq++
+	nrefs := cls.Refs + extra
+	hd := &h.handles[int(id)]
+	*hd = handle{class: c, addr: addr, size: size, live: true, birth: h.seq}
+	if nrefs > 0 {
+		if cap(hd.refs) >= nrefs {
+			hd.refs = hd.refs[:nrefs]
+			for i := range hd.refs {
+				hd.refs[i] = Nil
+			}
+		} else {
+			hd.refs = make([]HandleID, nrefs)
+		}
+	}
+	h.stats.Allocs++
+	h.stats.BytesAlloc += uint64(size)
+	return id, nil
+}
+
+// Free releases an object's arena extent and recycles its handle slot.
+// Freeing Nil or a dead handle panics: both collectors must agree on
+// ownership, and a double free indicates a collector bug.
+func (h *Heap) Free(id HandleID) {
+	hd := h.h(id)
+	h.arena.Free(hd.addr, hd.size)
+	hd.live = false
+	hd.refs = hd.refs[:0]
+	h.freeIDs = append(h.freeIDs, id)
+	h.stats.Frees++
+}
+
+// Reinit repurposes a live object's extent and handle for a fresh
+// instance of class c with extra reference slots — the §3.7 recycling
+// path, where a dead-but-unfreed object is handed out again without
+// touching the allocator ("instead of having to free each object … we
+// only update a pointer"). The extent keeps its original size (first-fit
+// allows internal fragmentation); it must be at least as big as the new
+// instance requires.
+func (h *Heap) Reinit(id HandleID, c ClassID, extra int) error {
+	hd := h.h(id)
+	cls := h.classes[int(c)]
+	if extra != 0 && !cls.IsArray {
+		return fmt.Errorf("heap: class %q is not an array class", cls.Name)
+	}
+	need := InstanceSize(cls, extra)
+	if need > hd.size {
+		return fmt.Errorf("heap: recycled extent of %d bytes too small for %d", hd.size, need)
+	}
+	h.seq++
+	hd.class = c
+	hd.birth = h.seq
+	nrefs := cls.Refs + extra
+	if cap(hd.refs) >= nrefs {
+		hd.refs = hd.refs[:nrefs]
+		for i := range hd.refs {
+			hd.refs[i] = Nil
+		}
+	} else {
+		hd.refs = make([]HandleID, nrefs)
+	}
+	h.stats.Allocs++
+	h.stats.BytesAlloc += uint64(need)
+	return nil
+}
+
+// Live reports whether id names a currently allocated object. Nil is not
+// live.
+func (h *Heap) Live(id HandleID) bool {
+	return id != Nil && int(id) < len(h.handles) && h.handles[int(id)].live
+}
+
+// NumLive counts live objects (O(table); used by tests and experiments,
+// not hot paths).
+func (h *Heap) NumLive() int {
+	n := 0
+	for i := 1; i < len(h.handles); i++ {
+		if h.handles[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// HandleCap reports the current handle-table capacity (including dead
+// slots); CG sizes its side metadata from this.
+func (h *Heap) HandleCap() int { return len(h.handles) }
+
+// SizeOf reports the arena footprint of a live object.
+func (h *Heap) SizeOf(id HandleID) int { return h.h(id).size }
+
+// AddrOf reports a live object's arena address (tests, fragmentation
+// studies).
+func (h *Heap) AddrOf(id HandleID) int { return h.h(id).addr }
+
+// Birth reports the allocation sequence number of a live object.
+func (h *Heap) Birth(id HandleID) uint64 { return h.h(id).birth }
+
+// NumRefSlots reports how many reference slots a live object carries.
+func (h *Heap) NumRefSlots(id HandleID) int { return len(h.h(id).refs) }
+
+// GetRef reads reference slot i of object id.
+func (h *Heap) GetRef(id HandleID, i int) HandleID {
+	hd := h.h(id)
+	if i < 0 || i >= len(hd.refs) {
+		panic(fmt.Sprintf("heap: ref slot %d out of range on %s", i, h.classes[hd.class].Name))
+	}
+	return hd.refs[i]
+}
+
+// SetRef writes reference slot i of object id. The *runtime* is
+// responsible for routing the corresponding contamination event to the
+// collector before calling SetRef; the heap is policy-free.
+func (h *Heap) SetRef(id HandleID, i int, val HandleID) {
+	hd := h.h(id)
+	if i < 0 || i >= len(hd.refs) {
+		panic(fmt.Sprintf("heap: ref slot %d out of range on %s", i, h.classes[hd.class].Name))
+	}
+	if val != Nil && !h.Live(val) {
+		panic("heap: storing dangling reference")
+	}
+	hd.refs[i] = val
+}
+
+// Refs iterates over the non-nil outgoing references of a live object,
+// the traversal the MSA mark phase performs.
+func (h *Heap) Refs(id HandleID, fn func(HandleID)) {
+	for _, r := range h.h(id).refs {
+		if r != Nil {
+			fn(r)
+		}
+	}
+}
+
+// ForEachLive visits every live object in handle order (the MSA sweep
+// order).
+func (h *Heap) ForEachLive(fn func(HandleID)) {
+	for i := 1; i < len(h.handles); i++ {
+		if h.handles[i].live {
+			fn(HandleID(i))
+		}
+	}
+}

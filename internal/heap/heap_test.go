@@ -1,0 +1,345 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocFree(t *testing.T) {
+	a := NewArena(1024)
+	if a.FreeBytes() != 1024 || a.InUse() != 0 {
+		t.Fatalf("fresh arena accounting wrong: free=%d inUse=%d", a.FreeBytes(), a.InUse())
+	}
+	p1, err := a.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("overlapping allocations")
+	}
+	if a.InUse() != 384 {
+		t.Fatalf("inUse = %d, want 384", a.InUse())
+	}
+	a.Free(p1, 128)
+	a.Free(p2, 256)
+	if a.FreeBytes() != 1024 || a.FreeSpans() != 1 {
+		t.Fatalf("free did not coalesce back to one span: spans=%d free=%d", a.FreeSpans(), a.FreeBytes())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a := NewArena(256)
+	if _, err := a.Alloc(256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err != ErrOutOfMemory {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestArenaFirstFitFromCursor(t *testing.T) {
+	a := NewArena(1000)
+	// Carve three blocks; the cursor now sits at 300. Free block 1: the
+	// allocator must NOT reuse its hole (it is behind the cursor) while
+	// untouched space remains ahead.
+	p1, _ := a.Alloc(100)
+	if _, err := a.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	a.Free(p1, 100)
+	got, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 300 {
+		t.Fatalf("cursor policy: expected fresh space at 300, got %d", got)
+	}
+	// Exhaust the tail, then allocate again: the scan wraps and finds
+	// block 1's hole ("forced to start its search at the beginning of
+	// the heap", §4.8).
+	if _, err := a.Alloc(600); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != p1 {
+		t.Fatalf("wrap-around: expected hole %d, got %d", p1, got2)
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaCoalesceMiddle(t *testing.T) {
+	a := NewArena(300)
+	p1, _ := a.Alloc(100)
+	p2, _ := a.Alloc(100)
+	p3, _ := a.Alloc(100)
+	a.Free(p1, 100)
+	a.Free(p3, 100)
+	if a.FreeSpans() != 2 {
+		t.Fatalf("expected 2 spans, got %d", a.FreeSpans())
+	}
+	a.Free(p2, 100) // merges with both neighbours
+	if a.FreeSpans() != 1 || a.LargestFree() != 300 {
+		t.Fatalf("triple coalesce failed: spans=%d largest=%d", a.FreeSpans(), a.LargestFree())
+	}
+}
+
+func TestArenaDoubleFreePanics(t *testing.T) {
+	a := NewArena(128)
+	p, _ := a.Alloc(64)
+	a.Free(p, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(p, 64)
+}
+
+// TestArenaRandomized drives a random alloc/free workload and checks the
+// structural invariants after every operation (DESIGN.md §5.5).
+func TestArenaRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := NewArena(1 << 16)
+	type ext struct{ addr, size int }
+	var live []ext
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			size := 8 * (1 + rng.Intn(64))
+			addr, err := a.Alloc(size)
+			if err == nil {
+				live = append(live, ext{addr, size})
+			}
+		} else {
+			i := rng.Intn(len(live))
+			a.Free(live[i].addr, live[i].size)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if err := a.checkInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	// Allocated extents must never overlap one another.
+	for i := range live {
+		for j := i + 1; j < len(live); j++ {
+			x, y := live[i], live[j]
+			if x.addr < y.addr+y.size && y.addr < x.addr+x.size {
+				t.Fatalf("live extents overlap: %+v %+v", x, y)
+			}
+		}
+	}
+}
+
+// TestArenaFillDrain property: allocating until exhaustion and freeing
+// everything restores a single maximal span (quick).
+func TestArenaFillDrain(t *testing.T) {
+	check := func(sizes []uint8) bool {
+		a := NewArena(1 << 12)
+		var exts [][2]int
+		for _, s := range sizes {
+			size := 8 * (1 + int(s)%32)
+			addr, err := a.Alloc(size)
+			if err != nil {
+				break
+			}
+			exts = append(exts, [2]int{addr, size})
+		}
+		for _, e := range exts {
+			a.Free(e[0], e[1])
+		}
+		return a.FreeSpans() == 1 && a.FreeBytes() == 1<<12 && a.checkInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testHeap(t testing.TB) (*Heap, ClassID, ClassID) {
+	h := New(1 << 16)
+	node := h.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+	arr := h.DefineClass(Class{Name: "Object[]", IsArray: true})
+	return h, node, arr
+}
+
+func TestHeapAllocAndFields(t *testing.T) {
+	h, node, _ := testHeap(t)
+	a, err := h.Alloc(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Live(a) || !h.Live(b) || h.Live(Nil) {
+		t.Fatal("liveness wrong after alloc")
+	}
+	if h.GetRef(a, 0) != Nil || h.GetRef(a, 1) != Nil {
+		t.Fatal("fresh object fields not nil")
+	}
+	h.SetRef(a, 0, b)
+	if h.GetRef(a, 0) != b {
+		t.Fatal("SetRef/GetRef round trip failed")
+	}
+	var seen []HandleID
+	h.Refs(a, func(r HandleID) { seen = append(seen, r) })
+	if len(seen) != 1 || seen[0] != b {
+		t.Fatalf("Refs visited %v, want [%d]", seen, b)
+	}
+}
+
+func TestHeapArrays(t *testing.T) {
+	h, node, arr := testHeap(t)
+	v, err := h.Alloc(arr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumRefSlots(v) != 10 {
+		t.Fatalf("array slots = %d, want 10", h.NumRefSlots(v))
+	}
+	e, _ := h.Alloc(node, 0)
+	h.SetRef(v, 7, e)
+	if h.GetRef(v, 7) != e {
+		t.Fatal("array store/load failed")
+	}
+	if _, err := h.Alloc(node, 3); err == nil {
+		t.Fatal("extra slots on non-array class must error")
+	}
+}
+
+func TestHeapFreeRecyclesHandles(t *testing.T) {
+	h, node, _ := testHeap(t)
+	a, _ := h.Alloc(node, 0)
+	sz := h.SizeOf(a)
+	h.Free(a)
+	if h.Live(a) {
+		t.Fatal("freed object still live")
+	}
+	b, _ := h.Alloc(node, 0)
+	if b != a {
+		t.Fatalf("handle slot not recycled: got %d want %d", b, a)
+	}
+	if h.SizeOf(b) != sz {
+		t.Fatal("recycled handle has wrong size")
+	}
+	if got := h.Stats().Frees; got != 1 {
+		t.Fatalf("Frees = %d, want 1", got)
+	}
+}
+
+func TestHeapOOMAndRecovery(t *testing.T) {
+	h := New(64)
+	c := h.DefineClass(Class{Name: "Big", Data: 40})
+	a, err := h.Alloc(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(c, 0); err != ErrOutOfMemory {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	if h.Stats().FailedAlloc != 1 {
+		t.Fatalf("FailedAlloc = %d, want 1", h.Stats().FailedAlloc)
+	}
+	h.Free(a)
+	if _, err := h.Alloc(c, 0); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestHeapClassTable(t *testing.T) {
+	h := New(1024)
+	c1 := h.DefineClass(Class{Name: "A", Refs: 1})
+	c2 := h.DefineClass(Class{Name: "A", Refs: 1}) // identical redefinition
+	if c1 != c2 {
+		t.Fatal("identical redefinition should return same ID")
+	}
+	if _, ok := h.ClassByName("A"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := h.ClassByName("missing"); ok {
+		t.Fatal("phantom class")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting redefinition must panic")
+		}
+	}()
+	h.DefineClass(Class{Name: "A", Refs: 2})
+}
+
+func TestInstanceSizeAlignment(t *testing.T) {
+	cases := []struct {
+		c     Class
+		extra int
+		want  int
+	}{
+		{Class{Refs: 0, Data: 0}, 0, 8},
+		{Class{Refs: 1, Data: 0}, 0, 16},
+		{Class{Refs: 2, Data: 8}, 0, 24},
+		{Class{IsArray: true}, 3, 24}, // 8 + 12 -> 24
+	}
+	for _, tc := range cases {
+		if got := InstanceSize(tc.c, tc.extra); got != tc.want {
+			t.Errorf("InstanceSize(%+v,%d) = %d, want %d", tc.c, tc.extra, got, tc.want)
+		}
+	}
+}
+
+func TestDanglingAccessPanics(t *testing.T) {
+	h, node, _ := testHeap(t)
+	a, _ := h.Alloc(node, 0)
+	h.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dangling GetRef must panic")
+		}
+	}()
+	h.GetRef(a, 0)
+}
+
+func TestBirthOrder(t *testing.T) {
+	h, node, _ := testHeap(t)
+	a, _ := h.Alloc(node, 0)
+	b, _ := h.Alloc(node, 0)
+	if !(h.Birth(a) < h.Birth(b)) {
+		t.Fatal("birth sequence not monotone")
+	}
+}
+
+func BenchmarkHeapAllocFree(b *testing.B) {
+	h := New(1 << 20)
+	c := h.DefineClass(Class{Name: "N", Refs: 2, Data: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	ids := make([]HandleID, 0, 1024)
+	for i := 0; i < b.N; i++ {
+		id, err := h.Alloc(c, 0)
+		if err != nil {
+			for _, x := range ids {
+				h.Free(x)
+			}
+			ids = ids[:0]
+			id, err = h.Alloc(c, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		ids = append(ids, id)
+	}
+}

@@ -1,0 +1,109 @@
+package jasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an instruction opcode.
+type Op int
+
+// The instruction set: the §3.1.3 vocabulary plus the stack/locals
+// plumbing and structured control flow a usable assembly needs.
+const (
+	OpNew       Op = iota // new <class>            push fresh object
+	OpNewArray            // newarray <class> <n>   push fresh array of n refs
+	OpLoad                // load <i>               push locals[i]
+	OpStore               // store <i>              locals[i] = pop
+	OpDup                 // dup                    duplicate top of stack
+	OpPop                 // pop                    discard top of stack
+	OpNull                // null                   push the null reference
+	OpPutField            // putfield <slot>        v=pop, o=pop, o.slot=v
+	OpGetField            // getfield <slot>        o=pop, push o.slot
+	OpPutStatic           // putstatic <name>       static <name> = pop
+	OpGetStatic           // getstatic <name>       push static <name>
+	OpIntern              // intern <class> "s"     push canonical object for s
+	OpCall                // call <method> <nargs>  pop args, invoke, push result if any
+	OpARet                // areturn                return pop to the caller
+	OpRet                 // ret                    return void
+	OpGoto                // goto <label>
+	OpIfNull              // ifnull <label>         branch if pop == null
+	OpIfNonNull           // ifnonnull <label>      branch if pop != null
+	OpLoopDec             // internal: decrement loop counter, branch if > 0
+)
+
+var opNames = map[Op]string{
+	OpNew: "new", OpNewArray: "newarray", OpLoad: "load", OpStore: "store",
+	OpDup: "dup", OpPop: "pop", OpNull: "null", OpPutField: "putfield",
+	OpGetField: "getfield", OpPutStatic: "putstatic", OpGetStatic: "getstatic",
+	OpIntern: "intern", OpCall: "call", OpARet: "areturn", OpRet: "ret",
+	OpGoto: "goto", OpIfNull: "ifnull", OpIfNonNull: "ifnonnull",
+}
+
+// Instr is one assembled instruction. Meaning of A/B/S depends on Op:
+// class indexes, local slots, static slots, call targets, branch PCs.
+type Instr struct {
+	Op   Op
+	A, B int
+	S    string
+	Line int
+}
+
+func (in Instr) String() string {
+	name := opNames[in.Op]
+	switch in.Op {
+	case OpNew:
+		return fmt.Sprintf("%s %s", name, in.S)
+	case OpNewArray:
+		return fmt.Sprintf("%s %s %d", name, in.S, in.B)
+	case OpLoad, OpStore, OpPutField, OpGetField:
+		return fmt.Sprintf("%s %d", name, in.A)
+	case OpPutStatic, OpGetStatic:
+		return fmt.Sprintf("%s %s", name, in.S)
+	case OpIntern:
+		cls, content, _ := strings.Cut(in.S, "\x00")
+		return fmt.Sprintf("%s %s %q", name, cls, content)
+	case OpCall:
+		return fmt.Sprintf("%s %s %d", name, in.S, in.B)
+	case OpGoto, OpIfNull, OpIfNonNull:
+		return fmt.Sprintf("%s @%d", name, in.A)
+	default:
+		return name
+	}
+}
+
+// ClassDecl is a `class` directive.
+type ClassDecl struct {
+	Name    string
+	Refs    int
+	Data    int
+	IsArray bool
+	Line    int
+}
+
+// MethodDecl is a `method ... end` block before label resolution.
+type MethodDecl struct {
+	Name   string
+	Locals int
+	Body   []rawInstr
+	Line   int
+}
+
+// rawInstr is a parsed-but-unresolved instruction (labels and class
+// names still symbolic).
+type rawInstr struct {
+	op    Op
+	num   int // numeric operand (slot, local, array length, argc)
+	num2  int
+	name  string // class / static / method / label name
+	str   string // string literal (intern)
+	label string // branch target
+	line  int
+}
+
+// Unit is a parsed source file.
+type Unit struct {
+	Classes []ClassDecl
+	Statics []string
+	Methods []MethodDecl
+}

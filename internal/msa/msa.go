@@ -1,0 +1,169 @@
+// Package msa implements the "traditional collector" of the thesis: an
+// exact mark-and-sweep collector (MSA) over the handle table, rooted in
+// the runtime stacks and static area ("the roots of computation", §1).
+//
+// The mark phase exposes hooks so the contaminated collector can verify
+// and rebuild its equilive structures while the world is being traversed
+// anyway — the resetting scheme of §3.6. Frames are visited oldest-first
+// (static pseudo-frame, then each thread's stack bottom-up), so the first
+// frame to reach an object is the oldest frame that references it: the
+// conservative dependent frame CG wants.
+package msa
+
+import (
+	"repro/internal/heap"
+	"repro/internal/vm"
+)
+
+// Hooks observe the collection cycle. The zero-value NopHooks ignores
+// everything.
+type Hooks interface {
+	// BeginCycle fires before marking starts.
+	BeginCycle()
+	// Reached fires the first time the mark phase visits id; f is the
+	// root frame whose traversal reached it first.
+	Reached(id heap.HandleID, f *vm.Frame)
+	// Edge fires for every reference src -> dst the traversal follows
+	// (dst may already be marked).
+	Edge(src, dst heap.HandleID)
+	// WillFree fires during the sweep for every unmarked object, just
+	// before the heap extent is released.
+	WillFree(id heap.HandleID)
+	// EndCycle fires after the sweep with the number of objects freed.
+	EndCycle(freed int)
+}
+
+// NopHooks is the do-nothing Hooks implementation.
+type NopHooks struct{}
+
+// BeginCycle implements Hooks.
+func (NopHooks) BeginCycle() {}
+
+// Reached implements Hooks.
+func (NopHooks) Reached(heap.HandleID, *vm.Frame) {}
+
+// Edge implements Hooks.
+func (NopHooks) Edge(src, dst heap.HandleID) {}
+
+// WillFree implements Hooks.
+func (NopHooks) WillFree(heap.HandleID) {}
+
+// EndCycle implements Hooks.
+func (NopHooks) EndCycle(int) {}
+
+// Stats aggregates collector activity across cycles.
+type Stats struct {
+	Cycles     int    // collections performed
+	Marked     uint64 // cumulative objects marked (cache-pollution proxy)
+	Freed      uint64 // cumulative objects swept
+	EdgeVisits uint64 // cumulative reference traversals
+}
+
+// Collector is the mark–sweep engine. It holds no policy about *when* to
+// collect; the runtime (or a wrapping collector) decides that.
+type Collector struct {
+	rt    *vm.Runtime
+	stats Stats
+	mark  []bool          // scratch mark bits, indexed by HandleID
+	work  []heap.HandleID // scratch DFS stack
+}
+
+// New returns a mark–sweep engine bound to rt.
+func New(rt *vm.Runtime) *Collector { return &Collector{rt: rt} }
+
+// Stats returns a copy of the counters.
+func (m *Collector) Stats() Stats { return m.stats }
+
+// Collect runs one full mark–sweep cycle, invoking hooks throughout, and
+// returns the number of objects freed.
+func (m *Collector) Collect(hooks Hooks) int {
+	h := m.rt.Heap
+	m.stats.Cycles++
+	hooks.BeginCycle()
+
+	cap := h.HandleCap()
+	if len(m.mark) < cap {
+		m.mark = make([]bool, cap)
+	} else {
+		for i := range m.mark {
+			m.mark[i] = false
+		}
+	}
+
+	// Mark phase: roots in oldest-first frame order.
+	m.rt.EachRootFrame(func(f *vm.Frame, roots []heap.HandleID) {
+		for _, r := range roots {
+			if r != heap.Nil {
+				m.markFrom(r, f, hooks)
+			}
+		}
+	})
+
+	// Sweep phase: handle-table order, releasing unmarked extents.
+	freed := 0
+	h.ForEachLive(func(id heap.HandleID) {
+		if !m.mark[int(id)] {
+			hooks.WillFree(id)
+			h.Free(id)
+			freed++
+		}
+	})
+	m.stats.Freed += uint64(freed)
+	hooks.EndCycle(freed)
+	return freed
+}
+
+// markFrom marks everything reachable from root, attributing first visits
+// to frame f. Iterative DFS: recursion depth is data-dependent and the
+// raytrace analog builds long chains.
+func (m *Collector) markFrom(root heap.HandleID, f *vm.Frame, hooks Hooks) {
+	h := m.rt.Heap
+	if m.mark[int(root)] {
+		return
+	}
+	m.mark[int(root)] = true
+	m.stats.Marked++
+	hooks.Reached(root, f)
+	m.work = append(m.work[:0], root)
+	for len(m.work) > 0 {
+		src := m.work[len(m.work)-1]
+		m.work = m.work[:len(m.work)-1]
+		h.Refs(src, func(dst heap.HandleID) {
+			m.stats.EdgeVisits++
+			if !m.mark[int(dst)] {
+				m.mark[int(dst)] = true
+				m.stats.Marked++
+				// Reached must precede the Edge event so a rebuilding
+				// hook (internal/core) sees both endpoints in fresh
+				// singleton sets before re-contaminating them.
+				hooks.Reached(dst, f)
+				m.work = append(m.work, dst)
+			}
+			hooks.Edge(src, dst)
+		})
+	}
+}
+
+// System is the baseline "JDK 1.1.8" configuration: no incremental
+// collection, mark–sweep on demand. It implements vm.Collector.
+type System struct {
+	vm.BaseCollector
+	m *Collector
+}
+
+// NewSystem returns an unattached baseline system; pass it to vm.New.
+func NewSystem() *System { return &System{} }
+
+// Name implements vm.Collector.
+func (s *System) Name() string { return "msa" }
+
+// Attach implements vm.Collector.
+func (s *System) Attach(rt *vm.Runtime) { s.m = New(rt) }
+
+// Collect implements vm.Collector.
+func (s *System) Collect() int { return s.m.Collect(NopHooks{}) }
+
+// Engine exposes the underlying mark–sweep engine (stats).
+func (s *System) Engine() *Collector { return s.m }
+
+var _ vm.Collector = (*System)(nil)

@@ -1,0 +1,252 @@
+package msa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/vm"
+)
+
+func newRT(arena int) (*vm.Runtime, *System, heap.ClassID) {
+	h := heap.New(arena)
+	node := h.DefineClass(heap.Class{Name: "Node", Refs: 2, Data: 8})
+	sys := NewSystem()
+	rt := vm.New(h, sys)
+	return rt, sys, node
+}
+
+func TestCollectFreesUnreachable(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	kept := f.MustNew(node)
+	f.SetLocal(0, kept)
+	// Garbage is made in a nested frame: handles handed to Go code are
+	// rooted (JNI local-reference semantics) until their frame pops.
+	th.CallVoid(0, func(g *vm.Frame) {
+		for i := 0; i < 10; i++ {
+			g.MustNew(node) // dropped on the floor
+		}
+	})
+	freed := sys.Collect()
+	if freed != 10 {
+		t.Fatalf("freed %d, want 10", freed)
+	}
+	if !rt.Heap.Live(kept) {
+		t.Fatal("rooted object was swept")
+	}
+}
+
+func TestCollectTracesFieldChains(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	head := f.MustNew(node)
+	f.SetLocal(0, head)
+	// Build the chain in a nested frame so only the field links (not
+	// local references) keep it alive once the frame pops.
+	var all []heap.HandleID
+	th.CallVoid(0, func(g *vm.Frame) {
+		cur := head
+		for i := 0; i < 20; i++ {
+			n := g.MustNew(node)
+			g.PutField(cur, 0, n)
+			all = append(all, n)
+			cur = n
+		}
+	})
+	if freed := sys.Collect(); freed != 0 {
+		t.Fatalf("freed %d reachable objects", freed)
+	}
+	for _, id := range all {
+		if !rt.Heap.Live(id) {
+			t.Fatal("chained object swept")
+		}
+	}
+	// Cut the chain in the middle: the tail becomes garbage.
+	f.PutField(all[9], 0, heap.Nil)
+	if freed := sys.Collect(); freed != 10 {
+		t.Fatalf("freed %d, want 10 (the severed tail)", freed)
+	}
+}
+
+func TestCollectHandlesCycles(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	var a, b heap.HandleID
+	th.CallVoid(0, func(g *vm.Frame) {
+		a = g.MustNew(node)
+		b = g.MustNew(node)
+		g.PutField(a, 0, b)
+		g.PutField(b, 0, a) // cycle
+		f.SetLocal(0, a)    // rooted in the outer frame
+	})
+	if freed := sys.Collect(); freed != 0 {
+		t.Fatal("rooted cycle swept")
+	}
+	f.SetLocal(0, heap.Nil)
+	if freed := sys.Collect(); freed != 2 {
+		t.Fatalf("unrooted cycle: freed %d, want 2", freed)
+	}
+	_ = rt
+	_ = b
+}
+
+func TestStaticsAreRoots(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(0)
+	f := th.Top()
+	slot := rt.StaticSlot("pin")
+	o := f.MustNew(node)
+	f.PutStatic(slot, o)
+	th.CallVoid(0, func(inner *vm.Frame) {
+		inner.MustNew(node) // garbage
+	})
+	if freed := sys.Collect(); freed != 1 {
+		t.Fatalf("freed %d, want 1", freed)
+	}
+	if !rt.Heap.Live(o) {
+		t.Fatal("static-rooted object swept")
+	}
+}
+
+// orderHooks records first-visit attribution to verify the oldest-first
+// property the resetting pass depends on.
+type orderHooks struct {
+	NopHooks
+	firstFrame map[heap.HandleID]uint64
+}
+
+func (o *orderHooks) Reached(id heap.HandleID, f *vm.Frame) {
+	if _, ok := o.firstFrame[id]; ok {
+		panic("Reached fired twice for one object")
+	}
+	o.firstFrame[id] = f.ID
+}
+
+func TestReachedAttributesOldestFrame(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	rootF := th.Top()
+	shared := rootF.MustNew(node)
+	rootF.SetLocal(0, shared)
+	th.CallVoid(1, func(inner *vm.Frame) {
+		inner.SetLocal(0, shared) // also referenced by the younger frame
+		h := &orderHooks{firstFrame: make(map[heap.HandleID]uint64)}
+		sys.Engine().Collect(h)
+		if got := h.firstFrame[shared]; got != rootF.ID {
+			t.Fatalf("shared object attributed to frame %d, want oldest %d", got, rootF.ID)
+		}
+	})
+}
+
+func TestWillFreePrecedesFree(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(0)
+	var victim heap.HandleID
+	th.CallVoid(0, func(g *vm.Frame) { victim = g.MustNew(node) })
+	liveAtHook := false
+	h := &hookFn{onWillFree: func(id heap.HandleID) {
+		if id == victim {
+			liveAtHook = rt.Heap.Live(id)
+		}
+	}}
+	sys.Engine().Collect(h)
+	if !liveAtHook {
+		t.Fatal("WillFree fired after the object was freed (or never)")
+	}
+	if rt.Heap.Live(victim) {
+		t.Fatal("victim survived")
+	}
+}
+
+type hookFn struct {
+	NopHooks
+	onWillFree func(heap.HandleID)
+}
+
+func (h *hookFn) WillFree(id heap.HandleID) { h.onWillFree(id) }
+
+// TestRandomGraphExactness builds a random object graph, computes an
+// independent reachability oracle, and checks the collector frees exactly
+// the unreachable objects — MSA is the exactness reference for CG's
+// conservativeness experiments, so it must itself be exact.
+func TestRandomGraphExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		rt, sys, node := newRT(1 << 18)
+		th := rt.NewThread(4)
+		f := th.Top()
+		slot := rt.StaticSlot("s")
+		// Build the graph inside a nested frame so its operand roots
+		// vanish when it pops; survivors are whatever the outer locals,
+		// the static slot and the field graph still reach.
+		var objs []heap.HandleID
+		th.CallVoid(0, func(g *vm.Frame) {
+			for i := 0; i < 200; i++ {
+				objs = append(objs, g.MustNew(node))
+			}
+			for i := 0; i < 300; i++ {
+				src := objs[rng.Intn(len(objs))]
+				dst := objs[rng.Intn(len(objs))]
+				g.PutField(src, rng.Intn(2), dst)
+			}
+			for i := 0; i < 4; i++ {
+				f.SetLocal(i, objs[rng.Intn(len(objs))])
+			}
+			g.PutStatic(slot, objs[rng.Intn(len(objs))])
+		})
+
+		// Oracle: BFS from the same root enumeration the collector
+		// uses (locals, operand references and statics).
+		reach := make(map[heap.HandleID]bool)
+		var queue []heap.HandleID
+		push := func(id heap.HandleID) {
+			if id != heap.Nil && !reach[id] {
+				reach[id] = true
+				queue = append(queue, id)
+			}
+		}
+		rt.EachRootFrame(func(_ *vm.Frame, roots []heap.HandleID) {
+			for _, r := range roots {
+				push(r)
+			}
+		})
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			rt.Heap.Refs(id, push)
+		}
+		_ = slot
+
+		freed := sys.Collect()
+		if want := len(objs) - len(reach); freed != want {
+			t.Fatalf("trial %d: freed %d, oracle says %d unreachable", trial, freed, want)
+		}
+		for _, id := range objs {
+			if reach[id] != rt.Heap.Live(id) {
+				t.Fatalf("trial %d: object %d live=%v oracle=%v", trial, id, rt.Heap.Live(id), reach[id])
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	f.SetLocal(0, f.MustNew(node))
+	th.CallVoid(0, func(g *vm.Frame) { g.MustNew(node) }) // garbage
+	sys.Collect()
+	sys.Collect()
+	st := sys.Engine().Stats()
+	if st.Cycles != 2 {
+		t.Fatalf("cycles = %d", st.Cycles)
+	}
+	if st.Marked < 2 || st.Freed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	_ = rt
+}

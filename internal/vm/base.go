@@ -1,0 +1,43 @@
+package vm
+
+import "repro/internal/heap"
+
+// BaseCollector is a no-op Collector suitable for embedding: concrete
+// collectors override only the events they care about. On its own it
+// never frees anything (the "plenty of storage, asynchronous GC disabled"
+// configuration of §4.5).
+type BaseCollector struct{}
+
+// Name implements Collector.
+func (BaseCollector) Name() string { return "none" }
+
+// Attach implements Collector.
+func (BaseCollector) Attach(*Runtime) {}
+
+// OnAlloc implements Collector.
+func (BaseCollector) OnAlloc(heap.HandleID, *Frame) {}
+
+// OnRef implements Collector.
+func (BaseCollector) OnRef(src, dst heap.HandleID) {}
+
+// OnStaticRef implements Collector.
+func (BaseCollector) OnStaticRef(heap.HandleID) {}
+
+// OnReturn implements Collector.
+func (BaseCollector) OnReturn(heap.HandleID, *Frame) {}
+
+// OnFramePop implements Collector.
+func (BaseCollector) OnFramePop(*Frame) int { return 0 }
+
+// OnAccess implements Collector.
+func (BaseCollector) OnAccess(heap.HandleID, *Thread) {}
+
+// AllocFallback implements Collector.
+func (BaseCollector) AllocFallback(heap.ClassID, int) (heap.HandleID, bool) {
+	return heap.Nil, false
+}
+
+// Collect implements Collector.
+func (BaseCollector) Collect() int { return 0 }
+
+var _ Collector = BaseCollector{}

@@ -1,0 +1,470 @@
+// Package vm implements the managed-runtime substrate of the
+// reproduction: stack frames, (green) threads, locals, statics, string
+// interning and a native-code boundary, emitting exactly the event
+// vocabulary the contaminated collector instruments in Sun's JDK 1.1.8
+// interpreter (thesis §3.1.3):
+//
+//	object creation            -> Collector.OnAlloc
+//	putfield / aastore         -> Collector.OnRef
+//	putstatic / intern / JNI   -> Collector.OnStaticRef
+//	areturn                    -> Collector.OnReturn
+//	method return (frame pop)  -> Collector.OnFramePop
+//	any object touch           -> Collector.OnAccess (thread-share detection)
+//
+// The runtime is collector-agnostic: a Collector implementation receives
+// the events and owns all liveness policy. Allocation failure triggers,
+// in order, the collector's recycling fallback (§3.7), a full traditional
+// collection, and only then an out-of-memory error — the same cascade the
+// JDK allocator performs.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+)
+
+// Collector receives the runtime's reference and frame-lifecycle events
+// and owns garbage-collection policy. Implementations: the contaminated
+// collector (internal/core), the traditional mark–sweep system
+// (internal/msa.System) and the generational baseline (internal/gengc).
+type Collector interface {
+	// Name identifies the collector in experiment output.
+	Name() string
+	// Attach binds the collector to a runtime before any program runs.
+	Attach(rt *Runtime)
+	// OnAlloc observes a fresh object allocated while f was the active
+	// frame ("when an object is created, it is associated with the frame
+	// of the currently active method").
+	OnAlloc(id heap.HandleID, f *Frame)
+	// OnRef observes src acquiring a reference to dst (putfield or
+	// aastore with a non-nil dst).
+	OnRef(src, dst heap.HandleID)
+	// OnStaticRef observes a static variable (or an interpreter-internal
+	// static structure such as the intern table, §3.2) acquiring a
+	// reference to dst.
+	OnStaticRef(dst heap.HandleID)
+	// OnReturn observes a method returning val to caller (areturn).
+	OnReturn(val heap.HandleID, caller *Frame)
+	// OnFramePop observes frame f popping; an incremental collector may
+	// reclaim storage here and reports how many objects it freed.
+	OnFramePop(f *Frame) int
+	// OnAccess observes thread t touching object id (thread-share
+	// detection, §3.3).
+	OnAccess(id heap.HandleID, t *Thread)
+	// AllocFallback gives the collector a chance to satisfy an
+	// allocation from recycled storage after the arena is exhausted
+	// (§3.7). ok reports whether id is a valid recycled object.
+	AllocFallback(c heap.ClassID, extra int) (id heap.HandleID, ok bool)
+	// Collect runs a full traditional collection and reports how many
+	// objects were freed.
+	Collect() int
+}
+
+// Frame is one method activation. Locals hold reference values only (the
+// runtime does not model primitive locals; they are irrelevant to GC).
+type Frame struct {
+	// ID is a runtime-unique, monotonically increasing frame number.
+	// Within one thread's live stack, a smaller ID is an older frame —
+	// the ordering contamination compares. ID 0 is reserved for the
+	// static pseudo-frame ("we view static references as stemming from a
+	// program's initial stack frame").
+	ID uint64
+	// Depth is the frame's position on its thread's stack (root = 1).
+	// The static pseudo-frame has depth 0.
+	Depth int
+	// Thread owns this frame; nil for the static pseudo-frame.
+	Thread *Thread
+	// GCHead is a collector-owned word: CG stores the head of the
+	// frame's dependent equilive-set list here ("each frame is equipped
+	// with a reference to a list of its dependent equilive blocks",
+	// §3.1.2). The runtime only resets it when the frame is created.
+	GCHead heap.HandleID
+
+	locals []heap.HandleID
+	// operands are JNI-style local references: every handle the runtime
+	// hands to driver (Go) code — allocation results, field/static
+	// reads, call returns — is rooted here until the frame pops, because
+	// the driver may hold it in a Go variable the collectors cannot see.
+	// This mirrors how Sun's JVM pins local references handed across the
+	// native boundary (§3.3). Forget is the DeleteLocalRef analog.
+	operands []heap.HandleID
+	rt       *Runtime
+}
+
+// Runtime glues heap, threads, statics and the collector together.
+type Runtime struct {
+	Heap *heap.Heap
+
+	// GCEvery, when non-zero, forces a full collection every GCEvery
+	// runtime operations — the instrumentation behind the resetting
+	// experiment ("we instrumented the JVM to run garbage collection
+	// after a certain number of instructions", §4.7).
+	GCEvery uint64
+
+	collector   Collector
+	threads     []*Thread
+	statics     []heap.HandleID
+	staticNames map[string]int
+	interned    map[string]heap.HandleID
+	// internedRoots mirrors the intern table for root enumeration: the
+	// table is interpreter-internal state invisible to the collectors
+	// otherwise — exactly the §3.2 problem ("the references from the
+	// hash table are essentially static").
+	internedRoots []heap.HandleID
+	staticFrame   *Frame
+	frameSeq      uint64
+	instr         uint64
+	gcCycles      int
+}
+
+// Thread is a green thread: a stack of frames driven directly by Go code
+// (workloads interleave threads explicitly; preemption is irrelevant to
+// the collector, only *which* thread touches an object matters).
+type Thread struct {
+	ID    int
+	rt    *Runtime
+	stack []*Frame
+	// pool recycles popped frames: method-call rates are high enough
+	// (the ray tracer pushes ~30 frames per pixel) that per-call frame
+	// allocation would dominate the timing experiments.
+	pool []*Frame
+}
+
+// New creates a runtime over h governed by c. The static pseudo-frame
+// (frame 0) is created immediately and never pops.
+func New(h *heap.Heap, c Collector) *Runtime {
+	rt := &Runtime{
+		Heap:        h,
+		collector:   c,
+		staticNames: make(map[string]int),
+		interned:    make(map[string]heap.HandleID),
+	}
+	rt.staticFrame = &Frame{ID: 0, Depth: 0, rt: rt}
+	c.Attach(rt)
+	return rt
+}
+
+// Collector returns the attached collector.
+func (rt *Runtime) Collector() Collector { return rt.collector }
+
+// StaticFrame returns the immortal pseudo-frame 0.
+func (rt *Runtime) StaticFrame() *Frame { return rt.staticFrame }
+
+// Instr reports the number of runtime operations executed so far.
+func (rt *Runtime) Instr() uint64 { return rt.instr }
+
+// GCCycles reports how many full (traditional) collections ran.
+func (rt *Runtime) GCCycles() int { return rt.gcCycles }
+
+// step counts one runtime operation and fires the periodic forced
+// collection used by the resetting experiment.
+func (rt *Runtime) step() {
+	rt.instr++
+	if rt.GCEvery != 0 && rt.instr%rt.GCEvery == 0 {
+		rt.ForceCollect()
+	}
+}
+
+// ForceCollect runs a full traditional collection immediately.
+func (rt *Runtime) ForceCollect() int {
+	rt.gcCycles++
+	return rt.collector.Collect()
+}
+
+// NewThread creates a thread with a root frame holding nlocals locals.
+func (rt *Runtime) NewThread(nlocals int) *Thread {
+	t := &Thread{ID: len(rt.threads) + 1, rt: rt}
+	rt.threads = append(rt.threads, t)
+	t.push(nlocals)
+	return t
+}
+
+// Threads returns the live thread list (root enumeration for tracing
+// collectors).
+func (rt *Runtime) Threads() []*Thread { return rt.threads }
+
+// EachRootFrame visits every live frame of every thread, oldest frame
+// first within each thread, preceded by the static pseudo-frame. A frame
+// may be presented more than once with different root slices (locals,
+// then operand references). This is the traversal order the resetting
+// pass (§3.6) relies on: an object first reached from the oldest frame
+// that references it receives the correct (most conservative) dependent
+// frame.
+func (rt *Runtime) EachRootFrame(fn func(f *Frame, roots []heap.HandleID)) {
+	fn(rt.staticFrame, rt.statics)
+	fn(rt.staticFrame, rt.internedRoots)
+	for _, t := range rt.threads {
+		for _, f := range t.stack {
+			fn(f, f.locals)
+			fn(f, f.operands)
+		}
+	}
+}
+
+// push creates (or recycles) a frame on t's stack.
+func (t *Thread) push(nlocals int) *Frame {
+	t.rt.frameSeq++
+	var f *Frame
+	if n := len(t.pool); n > 0 {
+		f = t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		if cap(f.locals) >= nlocals {
+			f.locals = f.locals[:nlocals]
+			for i := range f.locals {
+				f.locals[i] = heap.Nil
+			}
+		} else {
+			f.locals = make([]heap.HandleID, nlocals)
+		}
+		f.operands = f.operands[:0]
+	} else {
+		f = &Frame{
+			Thread: t,
+			locals: make([]heap.HandleID, nlocals),
+			rt:     t.rt,
+		}
+	}
+	f.ID = t.rt.frameSeq
+	f.Depth = len(t.stack) + 1
+	f.GCHead = heap.Nil
+	t.stack = append(t.stack, f)
+	return f
+}
+
+// pop removes t's youngest frame, firing OnFramePop, and recycles it.
+// Collectors must not retain the *Frame past OnFramePop (CG's invariant:
+// no equilive set may depend on a popped frame).
+func (t *Thread) pop() {
+	f := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	t.rt.collector.OnFramePop(f)
+	t.pool = append(t.pool, f)
+}
+
+// Top returns the active frame.
+func (t *Thread) Top() *Frame { return t.stack[len(t.stack)-1] }
+
+// Depth reports the stack depth.
+func (t *Thread) Depth() int { return len(t.stack) }
+
+// Call pushes a frame with nlocals locals, runs body, fires areturn
+// semantics for a non-nil result, pops the frame and returns the result.
+// It is the runtime's method-invocation primitive: the Go closure plays
+// the role of the method body, reading arguments from the locals the
+// caller pre-loads via PassArg or from captured variables.
+func (t *Thread) Call(nlocals int, body func(f *Frame) heap.HandleID) heap.HandleID {
+	f := t.push(nlocals)
+	ret := body(f)
+	if ret != heap.Nil {
+		// areturn: the value's block must survive at least as long as
+		// the caller's frame (§3.1.3).
+		var caller *Frame
+		if len(t.stack) >= 2 {
+			caller = t.stack[len(t.stack)-2]
+		} else {
+			caller = t.rt.staticFrame
+		}
+		t.rt.step()
+		t.rt.collector.OnReturn(ret, caller)
+		if caller != t.rt.staticFrame {
+			caller.addOperand(ret)
+		}
+	}
+	t.pop()
+	return ret
+}
+
+// addOperand roots a handle handed to driver code in this frame.
+func (f *Frame) addOperand(id heap.HandleID) {
+	f.operands = append(f.operands, id)
+}
+
+// Forget drops every operand-reference this frame holds on id — the
+// DeleteLocalRef analog. Locals and object fields referencing id are
+// unaffected.
+func (f *Frame) Forget(id heap.HandleID) {
+	out := f.operands[:0]
+	for _, o := range f.operands {
+		if o != id {
+			out = append(out, o)
+		}
+	}
+	f.operands = out
+}
+
+// CallVoid is Call for methods that return no reference.
+func (t *Thread) CallVoid(nlocals int, body func(f *Frame)) {
+	t.Call(nlocals, func(f *Frame) heap.HandleID {
+		body(f)
+		return heap.Nil
+	})
+}
+
+// Local reads local slot i.
+func (f *Frame) Local(i int) heap.HandleID { return f.locals[i] }
+
+// SetLocal writes local slot i. Storing into a local is a stack (root)
+// reference: it fires no contamination, only thread-access detection.
+func (f *Frame) SetLocal(i int, v heap.HandleID) {
+	f.rt.step()
+	if v != heap.Nil {
+		f.rt.collector.OnAccess(v, f.Thread)
+	}
+	f.locals[i] = v
+}
+
+// NumLocals reports the frame's local count.
+func (f *Frame) NumLocals() int { return len(f.locals) }
+
+// Runtime returns the owning runtime.
+func (f *Frame) Runtime() *Runtime { return f.rt }
+
+// New allocates an instance of class c while f is the active frame,
+// driving the §3.7 fallback cascade on exhaustion:
+// recycled storage, then a full collection, then error.
+func (f *Frame) New(c heap.ClassID) (heap.HandleID, error) { return f.alloc(c, 0) }
+
+// NewArray allocates a reference array of n elements of array class c.
+func (f *Frame) NewArray(c heap.ClassID, n int) (heap.HandleID, error) { return f.alloc(c, n) }
+
+func (f *Frame) alloc(c heap.ClassID, extra int) (heap.HandleID, error) {
+	rt := f.rt
+	rt.step()
+	id, err := rt.Heap.Alloc(c, extra)
+	if err != nil {
+		if rid, ok := rt.collector.AllocFallback(c, extra); ok {
+			rt.collector.OnAlloc(rid, f)
+			if f.Thread != nil {
+				rt.collector.OnAccess(rid, f.Thread)
+			}
+			f.addOperand(rid)
+			return rid, nil
+		}
+		rt.gcCycles++
+		rt.collector.Collect()
+		id, err = rt.Heap.Alloc(c, extra)
+		if err != nil {
+			return heap.Nil, fmt.Errorf("vm: heap exhausted after full collection: %w", err)
+		}
+	}
+	rt.collector.OnAlloc(id, f)
+	if f.Thread != nil {
+		rt.collector.OnAccess(id, f.Thread)
+	}
+	f.addOperand(id)
+	return id, nil
+}
+
+// MustNew is New for workloads whose heap budget is known sufficient.
+func (f *Frame) MustNew(c heap.ClassID) heap.HandleID {
+	id, err := f.New(c)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// MustNewArray is NewArray with the same contract as MustNew.
+func (f *Frame) MustNewArray(c heap.ClassID, n int) heap.HandleID {
+	id, err := f.NewArray(c, n)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// PutField implements `obj.slot = val` (putfield / aastore): it fires
+// contamination between obj and val and the thread-access events, then
+// performs the store.
+func (f *Frame) PutField(obj heap.HandleID, slot int, val heap.HandleID) {
+	rt := f.rt
+	rt.step()
+	rt.collector.OnAccess(obj, f.Thread)
+	if val != heap.Nil {
+		rt.collector.OnAccess(val, f.Thread)
+		rt.collector.OnRef(obj, val)
+	}
+	rt.Heap.SetRef(obj, slot, val)
+}
+
+// GetField implements `obj.slot` (getfield / aaload).
+func (f *Frame) GetField(obj heap.HandleID, slot int) heap.HandleID {
+	rt := f.rt
+	rt.step()
+	rt.collector.OnAccess(obj, f.Thread)
+	v := rt.Heap.GetRef(obj, slot)
+	if v != heap.Nil {
+		rt.collector.OnAccess(v, f.Thread)
+		f.addOperand(v)
+	}
+	return v
+}
+
+// StaticSlot interns a static-variable name, returning its slot index.
+func (rt *Runtime) StaticSlot(name string) int {
+	if i, ok := rt.staticNames[name]; ok {
+		return i
+	}
+	i := len(rt.statics)
+	rt.staticNames[name] = i
+	rt.statics = append(rt.statics, heap.Nil)
+	return i
+}
+
+// PutStatic implements `static name = val` (putstatic): the referenced
+// object's block joins the frame-0 dependent list.
+func (f *Frame) PutStatic(slot int, val heap.HandleID) {
+	rt := f.rt
+	rt.step()
+	if val != heap.Nil {
+		rt.collector.OnAccess(val, f.Thread)
+		rt.collector.OnStaticRef(val)
+	}
+	rt.statics[slot] = val
+}
+
+// GetStatic implements `static name` (getstatic).
+func (f *Frame) GetStatic(slot int) heap.HandleID {
+	rt := f.rt
+	rt.step()
+	v := rt.statics[slot]
+	if v != heap.Nil {
+		rt.collector.OnAccess(v, f.Thread)
+		f.addOperand(v)
+	}
+	return v
+}
+
+// Intern maps content to a unique object of class c, allocating on first
+// use and pinning the result as static — the String.intern treatment of
+// §3.2 ("any String mapped via intern() is static").
+func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
+	rt := f.rt
+	if id, ok := rt.interned[content]; ok {
+		rt.step()
+		rt.collector.OnAccess(id, f.Thread)
+		f.addOperand(id)
+		return id, nil
+	}
+	id, err := f.alloc(c, 0)
+	if err != nil {
+		return heap.Nil, err
+	}
+	rt.interned[content] = id
+	rt.internedRoots = append(rt.internedRoots, id)
+	rt.collector.OnStaticRef(id)
+	return id, nil
+}
+
+// NativePin marks an object as escaping into native code: conservatively
+// static ("we catch such allocations and treat the equilive blocks as if
+// they were static", §3.3).
+func (f *Frame) NativePin(id heap.HandleID) {
+	rt := f.rt
+	rt.step()
+	rt.collector.OnStaticRef(id)
+}
+
+// Statics returns the static slot values (root enumeration).
+func (rt *Runtime) Statics() []heap.HandleID { return rt.statics }

@@ -1,0 +1,340 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+)
+
+// eventLog records every collector event in order, so tests can assert
+// the runtime emits exactly the instrumentation vocabulary of §3.1.3.
+type eventLog struct {
+	BaseCollector
+	rt     *Runtime
+	events []string
+	allocs []heap.HandleID
+	pops   []uint64
+	freeOn bool // if set, Collect frees everything unreachable-naively (nothing)
+}
+
+func (e *eventLog) Name() string       { return "log" }
+func (e *eventLog) Attach(rt *Runtime) { e.rt = rt }
+func (e *eventLog) add(s string)       { e.events = append(e.events, s) }
+func (e *eventLog) OnAlloc(id heap.HandleID, f *Frame) {
+	e.allocs = append(e.allocs, id)
+	e.add("alloc")
+}
+func (e *eventLog) OnRef(src, dst heap.HandleID)            { e.add("ref") }
+func (e *eventLog) OnStaticRef(dst heap.HandleID)           { e.add("static") }
+func (e *eventLog) OnReturn(v heap.HandleID, caller *Frame) { e.add("return") }
+func (e *eventLog) OnFramePop(f *Frame) int {
+	e.pops = append(e.pops, f.ID)
+	e.add("pop")
+	return 0
+}
+
+func newTestRT(c Collector, arena int) (*Runtime, heap.ClassID, heap.ClassID) {
+	h := heap.New(arena)
+	node := h.DefineClass(heap.Class{Name: "Node", Refs: 2, Data: 8})
+	arr := h.DefineClass(heap.Class{Name: "Object[]", IsArray: true})
+	return New(h, c), node, arr
+}
+
+func TestCallPushPopAndFrameOrdering(t *testing.T) {
+	log := &eventLog{}
+	rt, node, _ := newTestRT(log, 1<<16)
+	th := rt.NewThread(2)
+	root := th.Top()
+	if root.Depth != 1 || root.ID == 0 {
+		t.Fatalf("root frame depth/ID wrong: %+v", root)
+	}
+	var innerID uint64
+	th.CallVoid(1, func(f *Frame) {
+		innerID = f.ID
+		if f.Depth != 2 {
+			t.Fatalf("inner depth = %d, want 2", f.Depth)
+		}
+		if !(f.ID > root.ID) {
+			t.Fatal("younger frame must have larger ID")
+		}
+		f.SetLocal(0, f.MustNew(node))
+	})
+	if len(log.pops) != 1 || log.pops[0] != innerID {
+		t.Fatalf("expected exactly the inner frame to pop, got %v", log.pops)
+	}
+	if th.Depth() != 1 {
+		t.Fatalf("stack depth after call = %d", th.Depth())
+	}
+}
+
+func TestAReturnFiresBeforePop(t *testing.T) {
+	log := &eventLog{}
+	rt, node, _ := newTestRT(log, 1<<16)
+	th := rt.NewThread(1)
+	ret := th.Call(0, func(f *Frame) heap.HandleID { return f.MustNew(node) })
+	if ret == heap.Nil {
+		t.Fatal("Call lost the return value")
+	}
+	want := []string{"alloc", "return", "pop"}
+	if len(log.events) != 3 {
+		t.Fatalf("events = %v", log.events)
+	}
+	for i, w := range want {
+		if log.events[i] != w {
+			t.Fatalf("event[%d] = %s, want %s (full: %v)", i, log.events[i], w, log.events)
+		}
+	}
+}
+
+func TestVoidCallFiresNoReturn(t *testing.T) {
+	log := &eventLog{}
+	rt, node, _ := newTestRT(log, 1<<16)
+	th := rt.NewThread(0)
+	th.CallVoid(0, func(f *Frame) { f.MustNew(node) })
+	for _, e := range log.events {
+		if e == "return" {
+			t.Fatal("void call fired OnReturn")
+		}
+	}
+}
+
+func TestPutFieldContaminationEvent(t *testing.T) {
+	log := &eventLog{}
+	rt, node, _ := newTestRT(log, 1<<16)
+	th := rt.NewThread(2)
+	f := th.Top()
+	a, b := f.MustNew(node), f.MustNew(node)
+	f.PutField(a, 0, b)
+	if rt.Heap.GetRef(a, 0) != b {
+		t.Fatal("store not performed")
+	}
+	found := false
+	for _, e := range log.events {
+		if e == "ref" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("PutField did not fire OnRef")
+	}
+	// Nil stores must not fire contamination.
+	n := len(log.events)
+	f.PutField(a, 0, heap.Nil)
+	for _, e := range log.events[n:] {
+		if e == "ref" {
+			t.Fatal("nil store fired OnRef")
+		}
+	}
+}
+
+func TestStaticsAndIntern(t *testing.T) {
+	log := &eventLog{}
+	rt, node, _ := newTestRT(log, 1<<16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	slot := rt.StaticSlot("table")
+	if slot != rt.StaticSlot("table") {
+		t.Fatal("StaticSlot not stable")
+	}
+	o := f.MustNew(node)
+	f.PutStatic(slot, o)
+	if f.GetStatic(slot) != o {
+		t.Fatal("static round trip failed")
+	}
+	s1, err := f.Intern("hello", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := f.Intern("hello", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("intern not canonical")
+	}
+	statics := 0
+	for _, e := range log.events {
+		if e == "static" {
+			statics++
+		}
+	}
+	if statics != 2 { // one putstatic + one first-intern
+		t.Fatalf("static events = %d, want 2", statics)
+	}
+}
+
+func TestEachRootFrameOrder(t *testing.T) {
+	rt, _, _ := newTestRT(&eventLog{}, 1<<16)
+	th := rt.NewThread(1)
+	var order []uint64
+	th.CallVoid(0, func(inner *Frame) {
+		last := uint64(0)
+		rt.EachRootFrame(func(f *Frame, _ []heap.HandleID) {
+			if len(order) == 0 || order[len(order)-1] != f.ID {
+				order = append(order, f.ID)
+			}
+			if f.ID < last {
+				t.Fatalf("frame %d visited after younger frame %d", f.ID, last)
+			}
+			last = f.ID
+		})
+	})
+	if len(order) != 3 { // static, root, inner
+		t.Fatalf("visited %v", order)
+	}
+	if order[0] != 0 {
+		t.Fatal("static frame must come first")
+	}
+}
+
+// oomCollector frees a designated victim when Collect is called, proving
+// the alloc cascade reaches the collector.
+type oomCollector struct {
+	BaseCollector
+	rt      *Runtime
+	victims []heap.HandleID
+	called  int
+}
+
+func (o *oomCollector) Name() string       { return "oom" }
+func (o *oomCollector) Attach(rt *Runtime) { o.rt = rt }
+func (o *oomCollector) Collect() int {
+	o.called++
+	n := len(o.victims)
+	for _, v := range o.victims {
+		o.rt.Heap.Free(v)
+	}
+	o.victims = nil
+	return n
+}
+
+func TestAllocTriggersCollectOnExhaustion(t *testing.T) {
+	col := &oomCollector{}
+	h := heap.New(64) // room for exactly two 24-byte Nodes + slack
+	node := h.DefineClass(heap.Class{Name: "Node", Refs: 2, Data: 8})
+	rt := New(h, col)
+	th := rt.NewThread(0)
+	f := th.Top()
+	a := f.MustNew(node)
+	_ = f.MustNew(node)
+	col.victims = []heap.HandleID{a}
+	c, err := f.New(node) // exhausted: must collect and retry
+	if err != nil {
+		t.Fatalf("alloc after collection failed: %v", err)
+	}
+	if col.called != 1 {
+		t.Fatalf("Collect called %d times, want 1", col.called)
+	}
+	if !rt.Heap.Live(c) {
+		t.Fatal("retried allocation not live")
+	}
+	// Now exhaust with no victims: hard OOM error.
+	if _, err := f.New(node); err == nil {
+		t.Fatal("expected hard OOM")
+	}
+}
+
+// recycler satisfies allocations from a stashed dead object, proving the
+// fallback path precedes Collect (§3.7: "before it tries to run MSA").
+type recycler struct {
+	BaseCollector
+	rt        *Runtime
+	stash     heap.HandleID
+	collected int
+}
+
+func (r *recycler) Name() string       { return "recycler" }
+func (r *recycler) Attach(rt *Runtime) { r.rt = rt }
+func (r *recycler) Collect() int       { r.collected++; return 0 }
+func (r *recycler) AllocFallback(c heap.ClassID, extra int) (heap.HandleID, bool) {
+	if r.stash == heap.Nil {
+		return heap.Nil, false
+	}
+	id := r.stash
+	r.stash = heap.Nil
+	if err := r.rt.Heap.Reinit(id, c, extra); err != nil {
+		return heap.Nil, false
+	}
+	return id, true
+}
+
+func TestAllocFallbackPrecedesCollect(t *testing.T) {
+	rec := &recycler{}
+	h := heap.New(48)
+	node := h.DefineClass(heap.Class{Name: "Node", Refs: 2, Data: 8}) // 24 bytes
+	rt := New(h, rec)
+	th := rt.NewThread(0)
+	f := th.Top()
+	a := f.MustNew(node)
+	_ = f.MustNew(node)
+	rec.stash = a // CG-dead, heap-live
+	got, err := f.New(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("expected recycled handle %d, got %d", a, got)
+	}
+	if rec.collected != 0 {
+		t.Fatal("Collect ran although recycling satisfied the allocation")
+	}
+}
+
+func TestGCEveryForcesCollections(t *testing.T) {
+	col := &oomCollector{}
+	rt, node, _ := newTestRT(col, 1<<16)
+	rt.GCEvery = 10
+	th := rt.NewThread(1)
+	f := th.Top()
+	for i := 0; i < 95; i++ {
+		f.SetLocal(0, f.MustNew(node))
+	}
+	if rt.GCCycles() < 9 {
+		t.Fatalf("GCCycles = %d after ~190 ops with GCEvery=10", rt.GCCycles())
+	}
+	if col.called != rt.GCCycles() {
+		t.Fatalf("collector saw %d cycles, runtime counted %d", col.called, rt.GCCycles())
+	}
+}
+
+func TestThreadsAreIndependentStacks(t *testing.T) {
+	rt, node, _ := newTestRT(&eventLog{}, 1<<16)
+	t1 := rt.NewThread(1)
+	t2 := rt.NewThread(1)
+	if t1.ID == t2.ID {
+		t.Fatal("thread IDs collide")
+	}
+	t1.CallVoid(1, func(f *Frame) {
+		f.SetLocal(0, f.MustNew(node))
+		if t2.Depth() != 1 {
+			t.Fatal("pushing on t1 affected t2")
+		}
+	})
+	if len(rt.Threads()) != 2 {
+		t.Fatal("thread registry wrong")
+	}
+}
+
+func TestArraysViaFrame(t *testing.T) {
+	rt, node, arr := newTestRT(&eventLog{}, 1<<16)
+	th := rt.NewThread(0)
+	f := th.Top()
+	v := f.MustNewArray(arr, 4)
+	e := f.MustNew(node)
+	f.PutField(v, 2, e) // aastore is putfield on the array object
+	if f.GetField(v, 2) != e {
+		t.Fatal("array element store/load failed")
+	}
+	_ = rt
+}
+
+func TestInstrCounting(t *testing.T) {
+	rt, node, _ := newTestRT(&eventLog{}, 1<<16)
+	th := rt.NewThread(1)
+	f := th.Top()
+	before := rt.Instr()
+	f.SetLocal(0, f.MustNew(node))
+	if rt.Instr() != before+2 { // one alloc op + one setlocal op
+		t.Fatalf("instr delta = %d, want 2", rt.Instr()-before)
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/heap"
+	"repro/internal/vm"
+)
+
+// DB models SPEC _209_db, an in-memory database manager: a static,
+// index-organised table of records queried repeatedly. Query machinery
+// (cursors, result sets, result items) is frame-local and collectable;
+// result items reference the static records they select, so the §3.4
+// optimization roughly doubles db's collectable fraction (Fig 4.1:
+// 18% -> 36%). Query volume grows super-linearly with size while the
+// table stays fixed, which is why db goes from 36% collectable in the
+// small run to 99% in the large one (Fig 4.9).
+func DB() Spec {
+	return Spec{
+		Name:    "db",
+		Desc:    "Database Manager",
+		Threads: single,
+		HeapBytes: func(size int) int {
+			return 48 << 10
+		},
+		Run: runDB,
+	}
+}
+
+const dbRecords = 360
+
+func runDB(rt *vm.Runtime, size int) {
+	h := rt.Heap
+	record := h.DefineClass(heap.Class{Name: "db.Record", Refs: 1, Data: 24})
+	node := h.DefineClass(heap.Class{Name: "db.IndexNode", Refs: 3, Data: 8})
+	cursor := h.DefineClass(heap.Class{Name: "db.Cursor", Refs: 1, Data: 16})
+	result := h.DefineClass(heap.Class{Name: "db.ResultSet", Refs: 2, Data: 8})
+	item := h.DefineClass(heap.Class{Name: "db.ResultItem", Refs: 2, Data: 8})
+	arr := h.DefineClass(heap.Class{Name: "db.Object[]", IsArray: true})
+	rng := newRNG("db", size)
+
+	th := rt.NewThread(2)
+	main := th.Top()
+
+	// The database: records in a static array plus a binary index tree
+	// built over them — all immortal.
+	keys := make([]int, dbRecords)
+	for i := range keys {
+		keys[i] = rng.Intn(1 << 20)
+	}
+	sort.Ints(keys)
+	tableSlot := rt.StaticSlot("db.table")
+	table := main.MustNewArray(arr, dbRecords)
+	main.PutStatic(tableSlot, table)
+	recs := make([]heap.HandleID, dbRecords)
+	for i := 0; i < dbRecords; i++ {
+		r := main.MustNew(record)
+		recs[i] = r
+		main.PutField(table, i, r)
+		if i > 0 {
+			main.PutField(r, 0, recs[i-1]) // intrusive chain, as SPEC's Vector
+		}
+	}
+	// Index: balanced tree of IndexNode objects over the key range.
+	indexSlot := rt.StaticSlot("db.index")
+	var build func(f *vm.Frame, lo, hi int) heap.HandleID
+	build = func(f *vm.Frame, lo, hi int) heap.HandleID {
+		if lo > hi {
+			return heap.Nil
+		}
+		mid := (lo + hi) / 2
+		n := f.MustNew(node)
+		f.PutField(n, 0, recs[mid])
+		if l := build(f, lo, mid-1); l != heap.Nil {
+			f.PutField(n, 1, l)
+		}
+		if r := build(f, mid+1, hi); r != heap.Nil {
+			f.PutField(n, 2, r)
+		}
+		return n
+	}
+	root := build(main, 0, dbRecords-1)
+	main.PutStatic(indexSlot, root)
+
+	// Query mix: point lookups and range scans. Volume ~ size^1.4,
+	// matching the paper's small->medium->large growth of db's popped
+	// population (A.2-A.4): the table is fixed, queries multiply.
+	queries := int(80 * math.Pow(float64(size), 1.4))
+	cacheSlot := rt.StaticSlot("db.cache")
+	sessSlot := rt.StaticSlot("db.session")
+	var found int
+	sessionEvery := 10 * size // immortal snapshots stay a sliver of the heap
+	for q := 0; q < queries; q++ {
+		if q%sessionEvery == 0 {
+			// A session snapshot: registered with the (static) session
+			// table during setup, then deregistered, but retained in
+			// the connection's root frame. Plain CG leaves it static
+			// forever; the §3.6 resetting pass finds it "less live"
+			// (Fig 4.11's second column).
+			snap := main.MustNew(cursor)
+			main.SetLocal(1, snap)
+			main.PutStatic(sessSlot, snap)
+			main.PutStatic(sessSlot, heap.Nil)
+		}
+		th.CallVoid(2, func(f *vm.Frame) {
+			// Per-query transients.
+			cur := f.MustNew(cursor)
+			rs := f.MustNew(result)
+			f.PutField(cur, 0, rs) // cursor+resultset: one block
+			f.SetLocal(0, cur)
+			pinned := q%8 == 0
+			if pinned {
+				// The statement cache pins the result set during the
+				// index lookup, then releases it before the scan — the
+				// transient static finger §4.7's resetting pass undoes
+				// (the set stays live via this frame's local).
+				f.PutStatic(cacheSlot, rs)
+			}
+
+			key := rng.Intn(1 << 20)
+			// Point lookup via the index tree (real binary search over
+			// the handle graph).
+			n := f.GetStatic(indexSlot)
+			lo, hi := 0, dbRecords-1
+			for n != heap.Nil && lo <= hi {
+				mid := (lo + hi) / 2
+				switch {
+				case keys[mid] == key:
+					lo = hi + 1
+				case keys[mid] < key:
+					n = f.GetField(n, 2)
+					lo = mid + 1
+				default:
+					n = f.GetField(n, 1)
+					hi = mid - 1
+				}
+			}
+			if pinned {
+				f.PutStatic(cacheSlot, heap.Nil) // cache invalidation
+			}
+			// Range scan: materialise a few result items, each holding
+			// a reference to its (static) record — the contamination
+			// the §3.4 optimization neutralises.
+			start := sort.SearchInts(keys, key)
+			width := 1 + rng.Intn(4)
+			if q%2 == 1 {
+				// Aggregate query: scan the key range and fold values
+				// into per-query accumulators without materialising
+				// record references. These stay collectable in both
+				// optimizer configurations — the reason db is ~18%
+				// collectable even without §3.4 (Fig 4.1).
+				sum := 0
+				for i := start; i < start+width && i < dbRecords; i++ {
+					sum += keys[i]
+				}
+				for k := 0; k < 2+width; k++ {
+					f.SetLocal(1, f.MustNew(item))
+				}
+				f.PutField(rs, 1, f.Local(1))
+				found += sum & 1
+				return
+			}
+			var prev heap.HandleID
+			for i := start; i < start+width && i < dbRecords; i++ {
+				// Result items come from a helper (distance-1 deaths,
+				// matching db's Fig 4.6 spread across 0-3 frames).
+				rec := recs[i]
+				it := th.Call(1, func(g *vm.Frame) heap.HandleID {
+					x := g.MustNew(item)
+					g.PutField(x, 0, rec) // reference *to* a static record
+					return x
+				})
+				if prev != heap.Nil {
+					f.PutField(it, 1, prev) // chain items into the set
+				}
+				prev = it
+				found++
+			}
+			if prev != heap.Nil {
+				f.PutField(rs, 0, prev)
+			}
+		})
+	}
+	_ = found
+}

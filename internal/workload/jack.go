@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/vm"
+)
+
+// Jack models SPEC _228_jack, a PCCTS parser generator: a token storm.
+// The scanner allocates a Token per lexeme (often with an attached
+// lexeme string — the block-size-2 bulge of Fig 4.5), returns it to the
+// parser (one areturn hop: the Fig 4.6 age-1 spike), and the parser's
+// per-production frames build small node trees that die on reduction.
+// Identifier names are interned on first occurrence (§3.2), so jack's
+// static share grows with the input's vocabulary — ~10% at every size
+// (A.2-A.4).
+func Jack() Spec {
+	return Spec{
+		Name:    "jack",
+		Desc:    "PCCTS tool",
+		Threads: single,
+		HeapBytes: func(size int) int {
+			return (32 + 2*size) << 10 // the interned vocabulary grows with size
+		},
+		Run: runJack,
+	}
+}
+
+func runJack(rt *vm.Runtime, size int) {
+	h := rt.Heap
+	tokenCls := h.DefineClass(heap.Class{Name: "jack.Token", Refs: 1, Data: 16})
+	lexeme := h.DefineClass(heap.Class{Name: "jack.Lexeme", Refs: 0, Data: 24})
+	nodeCls := h.DefineClass(heap.Class{Name: "jack.Node", Refs: 2, Data: 8})
+	symCls := h.DefineClass(heap.Class{Name: "jack.SymbolName", Refs: 0, Data: 16})
+	ruleCls := h.DefineClass(heap.Class{Name: "jack.Rule", Refs: 2, Data: 8})
+	rng := newRNG("jack", size)
+
+	th := rt.NewThread(2)
+	mf := th.Top()
+
+	// Static grammar rules, chained off a static head.
+	ruleSlot := rt.StaticSlot("jack.rules")
+	var ruleHead heap.HandleID
+	for i := 0; i < 60; i++ {
+		r := mf.MustNew(ruleCls)
+		if ruleHead != heap.Nil {
+			mf.PutField(r, 0, ruleHead)
+		}
+		ruleHead = r
+		mf.PutStatic(ruleSlot, ruleHead)
+	}
+
+	// The identifier vocabulary grows with the input; each name is
+	// interned on first sight inside the scanner.
+	vocab := 130 * size
+	if vocab > 6000 {
+		vocab = 6000
+	}
+
+	tokens := 1200 * size
+	scanned := 0
+	// nextToken: allocated in the scanner's frame, returned to the
+	// production frame — dying exactly one frame from birth.
+	nextToken := func() heap.HandleID {
+		return th.Call(1, func(f *vm.Frame) heap.HandleID {
+			scanned++
+			t := f.MustNew(tokenCls)
+			// Real scanning work: hash the synthetic lexeme bytes.
+			var hash uint32
+			n := 3 + rng.Intn(12)
+			for i := 0; i < n; i++ {
+				hash = hash*16777619 ^ uint32(rng.Intn(96)+32)
+			}
+			switch {
+			case hash%8 < 2:
+				// Identifiers intern their name (static on first use)
+				// and hold a reference to it — without §3.4 this drags
+				// the token (and any node that adopts it) into the
+				// static set: jack's 69% -> 89% optimizer delta in
+				// Fig 4.1.
+				sym, err := f.Intern(fmt.Sprintf("id%d", rng.Intn(vocab)), symCls)
+				if err != nil {
+					panic(err)
+				}
+				f.PutField(t, 0, sym)
+			case hash%8 < 5:
+				// String-ish tokens carry a lexeme object: Token+Lexeme
+				// form the size-2 equilive blocks jack is known for.
+				lx := f.MustNew(lexeme)
+				f.PutField(t, 0, lx)
+			}
+			f.SetLocal(0, t)
+			return t
+		})
+	}
+
+	// parseProduction consumes a handful of tokens; roughly a third are
+	// adopted into tree nodes (blocks of 3), the rest die free-standing
+	// (the size-1 "exact" population). Some productions recurse,
+	// spreading deaths over 2-3 frames.
+	var parseProduction func(depth int)
+	parseProduction = func(depth int) {
+		th.CallVoid(2, func(f *vm.Frame) {
+			var prevNode heap.HandleID
+			consume := 3 + rng.Intn(4)
+			for i := 0; i < consume && scanned < tokens; i++ {
+				tok := nextToken()
+				f.SetLocal(0, tok)
+				if rng.Intn(3) == 0 {
+					n := f.MustNew(nodeCls)
+					f.PutField(n, 0, tok) // node adopts its token
+					if prevNode != heap.Nil && rng.Intn(3) == 0 {
+						f.PutField(n, 1, prevNode)
+					}
+					prevNode = n
+					f.SetLocal(1, n)
+				}
+			}
+			if depth < 3 && rng.Intn(3) == 0 && scanned < tokens {
+				parseProduction(depth + 1)
+			}
+		})
+	}
+
+	for scanned < tokens {
+		parseProduction(0)
+	}
+}

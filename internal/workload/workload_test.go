@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/msa"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// measure runs one analog under CG with an idle traditional collector
+// (the demographics configuration of §4.5) and returns the breakdown.
+func measure(t *testing.T, name string, size int, opt bool) (core.Breakdown, core.Stats) {
+	t.Helper()
+	s, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := core.New(core.Config{StaticOpt: opt, Checked: true})
+	rt := vm.New(heap.New(512<<20), cg)
+	s.Run(rt, size)
+	return cg.Snapshot(), cg.Stats()
+}
+
+func pct(part, whole uint64) float64 { return stats.PctF(part, whole) }
+
+// TestRegistry sanity-checks the benchmark table.
+func TestRegistry(t *testing.T) {
+	specs := All()
+	if len(specs) != 8 {
+		t.Fatalf("expected the 8 SPEC analogs, got %d", len(specs))
+	}
+	want := []string{"compress", "jess", "raytrace", "db", "javac", "mpegaudio", "mtrt", "jack"}
+	for i, name := range want {
+		if specs[i].Name != name {
+			t.Fatalf("order: got %s at %d, want %s", specs[i].Name, i, name)
+		}
+		if specs[i].HeapBytes(1) <= 0 || specs[i].Threads(1) < 1 {
+			t.Fatalf("%s: degenerate spec", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted a bogus name")
+	}
+}
+
+// TestCollectablePercentages pins each analog's size-1 collectable
+// fraction to a band around the thesis's Fig 4.1 values (with opt).
+func TestCollectablePercentages(t *testing.T) {
+	cases := []struct {
+		name     string
+		lo, hi   float64 // acceptable collectable % band
+		paperPct float64 // Fig 4.1, for the record
+	}{
+		{"compress", 3, 18, 11},
+		{"jess", 50, 72, 61},
+		{"raytrace", 90, 100, 98},
+		{"db", 25, 48, 36},
+		{"javac", 15, 35, 24},
+		{"mpegaudio", 3, 15, 7},
+		{"mtrt", 90, 100, 98},
+		{"jack", 80, 97, 89},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, _ := measure(t, tc.name, 1, true)
+			got := pct(b.Popped, b.Created)
+			if got < tc.lo || got > tc.hi {
+				t.Fatalf("collectable = %.0f%%, want within [%.0f, %.0f] (paper: %.0f%%)",
+					got, tc.lo, tc.hi, tc.paperPct)
+			}
+			if b.Live != 0 {
+				t.Fatalf("%d objects neither popped, static, thread nor swept", b.Live)
+			}
+		})
+	}
+}
+
+// TestOptimizationDeltas: the §3.4 optimization must matter for the
+// benchmarks whose temporaries reference static data (jess, db, jack)
+// and be neutral for raytrace (Fig 4.1's two columns).
+func TestOptimizationDeltas(t *testing.T) {
+	gains := []struct {
+		name    string
+		minGain float64 // percentage points of collectable gained by opt
+	}{
+		{"jess", 15},
+		{"db", 6},
+		{"jack", 10},
+	}
+	for _, tc := range gains {
+		t.Run(tc.name, func(t *testing.T) {
+			with, _ := measure(t, tc.name, 1, true)
+			without, _ := measure(t, tc.name, 1, false)
+			gain := pct(with.Popped, with.Created) - pct(without.Popped, without.Created)
+			if gain < tc.minGain {
+				t.Fatalf("optimization gain = %.1f points, want >= %.0f", gain, tc.minGain)
+			}
+		})
+	}
+	t.Run("raytrace-neutral", func(t *testing.T) {
+		with, _ := measure(t, "raytrace", 1, true)
+		without, _ := measure(t, "raytrace", 1, false)
+		d := pct(with.Popped, with.Created) - pct(without.Popped, without.Created)
+		if d < -2 || d > 2 {
+			t.Fatalf("raytrace should be optimizer-neutral, delta = %.1f", d)
+		}
+	})
+}
+
+// TestJavacThreadSharing: javac's signature demographic is a dominant
+// thread-shared population at size 1 (Fig 4.2: >50% of objects).
+func TestJavacThreadSharing(t *testing.T) {
+	b, _ := measure(t, "javac", 1, true)
+	share := pct(b.Thread, b.Created)
+	if share < 35 || share > 70 {
+		t.Fatalf("thread-shared = %.0f%%, want 35-70 (paper: ~55)", share)
+	}
+	// Everything else in the suite shares at most a sliver.
+	for _, name := range []string{"compress", "jess", "raytrace", "db", "mpegaudio", "jack"} {
+		o, _ := measure(t, name, 1, true)
+		if s := pct(o.Thread, o.Created); s > 2 {
+			t.Fatalf("%s: unexpected thread sharing %.1f%%", name, s)
+		}
+	}
+}
+
+// TestMTRTSharesAtLargerSizes: mtrt is single-threaded at size 1 (like
+// SPEC) and shows a small shared population at size 10.
+func TestMTRTSharesAtLargerSizes(t *testing.T) {
+	small, _ := measure(t, "mtrt", 1, true)
+	if small.Thread != 0 {
+		t.Fatalf("mtrt size 1 must be single-threaded, shared = %d", small.Thread)
+	}
+	big, _ := measure(t, "mtrt", 10, true)
+	if big.Thread == 0 {
+		t.Fatal("mtrt size 10 must share objects across its two threads")
+	}
+	if s := pct(big.Thread, big.Created); s > 5 {
+		t.Fatalf("mtrt sharing should stay small (paper ~1%%), got %.1f%%", s)
+	}
+}
+
+// TestSizeScalingShapes: growing the problem size must reproduce the
+// paper's small->large trends (Fig 4.9): db and javac become
+// overwhelmingly collectable while compress/mpegaudio stay static-bound.
+func TestSizeScalingShapes(t *testing.T) {
+	dbSmall, _ := measure(t, "db", 1, true)
+	dbBig, _ := measure(t, "db", 10, true)
+	if !(pct(dbBig.Popped, dbBig.Created) > pct(dbSmall.Popped, dbSmall.Created)+30) {
+		t.Fatal("db's collectable share must surge with size")
+	}
+	for _, name := range []string{"compress", "mpegaudio"} {
+		small, _ := measure(t, name, 1, true)
+		big, _ := measure(t, name, 10, true)
+		growth := float64(big.Created) / float64(small.Created)
+		if growth > 2 {
+			t.Fatalf("%s: population grew %.1fx; should be computation-bound", name, growth)
+		}
+	}
+	jkSmall, _ := measure(t, "jack", 1, true)
+	jkBig, _ := measure(t, "jack", 10, true)
+	if jkBig.Created < 5*jkSmall.Created {
+		t.Fatal("jack's token storm must scale with input size")
+	}
+}
+
+// TestAgeProfiles pins the distinctive Fig 4.6 signatures: raytrace's
+// mass beyond 5 frames, jack's spike at distance 1.
+func TestAgeProfiles(t *testing.T) {
+	_, rtStats := measure(t, "raytrace", 1, true)
+	var total uint64
+	for _, n := range rtStats.AgeAtDeath {
+		total += n
+	}
+	if over5 := pct(rtStats.AgeAtDeath[6], total); over5 < 25 {
+		t.Fatalf("raytrace >5-frame deaths = %.0f%%, want a dominant share (paper: 55%%)", over5)
+	}
+	_, jkStats := measure(t, "jack", 1, true)
+	total = 0
+	for _, n := range jkStats.AgeAtDeath {
+		total += n
+	}
+	if at1 := pct(jkStats.AgeAtDeath[1], total); at1 < 50 {
+		t.Fatalf("jack distance-1 deaths = %.0f%%, want the majority (paper: ~75%%)", at1)
+	}
+}
+
+// TestBlockProfiles: jess and jack must be dominated by blocks of three
+// or fewer objects ("the majority of blocks do contain three or fewer
+// objects", §4.4), and jack must show a large singleton (exact) share.
+func TestBlockProfiles(t *testing.T) {
+	for _, name := range []string{"jess", "jack", "db", "javac"} {
+		_, st := measure(t, name, 1, true)
+		var small, all uint64
+		for i, n := range st.BlockSize {
+			all += n
+			if i <= 2 {
+				small += n
+			}
+		}
+		if all == 0 {
+			t.Fatalf("%s: no collected blocks", name)
+		}
+		if pct(small, all) < 60 {
+			t.Fatalf("%s: blocks of <=3 are only %.0f%%", name, pct(small, all))
+		}
+	}
+	_, jk := measure(t, "jack", 1, true)
+	if jk.Singleton == 0 {
+		t.Fatal("jack must collect singleton blocks (its 'exact' share)")
+	}
+}
+
+// TestDeterminism: identical (workload, size) runs produce identical
+// collector statistics — the experiments depend on replayability.
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, sa := measure(t, name, 1, true)
+		b, sb := measure(t, name, 1, true)
+		if a != b || sa != sb {
+			t.Fatalf("%s: two identical runs diverged", name)
+		}
+	}
+}
+
+// TestRunsUnderTightHeap: every analog must complete inside its own
+// suggested heap budget when the full collector cascade is available.
+func TestRunsUnderTightHeap(t *testing.T) {
+	for _, s := range All() {
+		t.Run(s.Name, func(t *testing.T) {
+			cg := core.New(core.Config{StaticOpt: true})
+			rt := vm.New(heap.New(s.HeapBytes(1)), cg)
+			s.Run(rt, 1) // panics (MustNew) on hard OOM
+		})
+	}
+}
+
+// TestRunsUnderMSAOnly: the analogs also complete under the baseline
+// collector alone — required for the timing comparisons.
+func TestRunsUnderMSAOnly(t *testing.T) {
+	for _, s := range All() {
+		t.Run(s.Name, func(t *testing.T) {
+			rt := vm.New(heap.New(s.HeapBytes(1)), msa.NewSystem())
+			s.Run(rt, 1)
+			if rt.GCCycles() == 0 && s.Name != "compress" && s.Name != "mpegaudio" {
+				t.Logf("note: %s never triggered the traditional collector", s.Name)
+			}
+		})
+	}
+}
