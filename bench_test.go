@@ -3,13 +3,16 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/collectors"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/gengc"
-	"repro/internal/msa"
-	"repro/internal/vm"
 	"repro/internal/workload"
 )
+
+// benchEng saturates the host, as cgbench does by default; per-run
+// collector costs are isolated in the Workload/... benches below.
+var benchEng = engine.New(0)
 
 // This file holds one benchmark per table and figure of the thesis's
 // evaluation, plus the ablation benches DESIGN.md calls out. Regenerate
@@ -23,103 +26,103 @@ import (
 
 func BenchmarkFig41CollectableNoOptVsOpt(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig41()
+		experiments.Fig41(benchEng)
 	}
 }
 
 func BenchmarkFig42StaticAndThreadSize1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig42_44(1)
+		experiments.Fig42_44(benchEng, 1)
 	}
 }
 
 func BenchmarkFig43StaticAndThreadSize10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig42_44(10)
+		experiments.Fig42_44(benchEng, 10)
 	}
 }
 
 func BenchmarkFig44StaticAndThreadSize100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig42_44(100)
+		experiments.Fig42_44(benchEng, 100)
 	}
 }
 
 func BenchmarkFig45BlockSizes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig45()
+		experiments.Fig45(benchEng)
 	}
 }
 
 func BenchmarkFig46AgeAtDeath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig46()
+		experiments.Fig46(benchEng)
 	}
 }
 
 func BenchmarkFig47TimingSize1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig47_48(1)
+		experiments.Fig47_48(benchEng, 1)
 	}
 }
 
 func BenchmarkFig48TimingSize10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig47_48(10)
+		experiments.Fig47_48(benchEng, 10)
 	}
 }
 
 func BenchmarkFig49LargeRuns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig49()
+		experiments.Fig49(benchEng)
 	}
 }
 
 func BenchmarkFig410SpeedupSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig410([]int{1, 10})
+		experiments.Fig410(benchEng, []int{1, 10})
 	}
 }
 
 func BenchmarkFig411Resetting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig411()
+		experiments.Fig411(benchEng)
 	}
 }
 
 func BenchmarkFig412RecycleTiming(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig412()
+		experiments.Fig412(benchEng)
 	}
 }
 
 func BenchmarkFig413RecycleCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig413()
+		experiments.Fig413(benchEng)
 	}
 }
 
 func BenchmarkFigA1ThreadStatics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.FigA1()
+		experiments.FigA1(benchEng)
 	}
 }
 
 func BenchmarkFigA2BreakdownSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.FigA2_4(1)
+		experiments.FigA2_4(benchEng, 1)
 	}
 }
 
 func BenchmarkFigA3BreakdownMedium(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.FigA2_4(10)
+		experiments.FigA2_4(benchEng, 10)
 	}
 }
 
 func BenchmarkFigA5RawTimingsSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.FigA5_7(1)
+		experiments.FigA5_7(benchEng, 1)
 	}
 }
 
@@ -127,22 +130,17 @@ func BenchmarkFigA5RawTimingsSmall(b *testing.B) {
 // analog under each collector at size 1 and 10 (100 is exercised by the
 // Fig 4.9/4.4 benches).
 func BenchmarkWorkload(b *testing.B) {
-	collectors := []struct {
-		name string
-		mk   func() vm.Collector
-	}{
-		{"cg", func() vm.Collector { return core.New(core.DefaultConfig()) }},
-		{"cg-recycle", func() vm.Collector { return core.New(core.Config{StaticOpt: true, Recycle: true}) }},
-		{"msa", func() vm.Collector { return msa.NewSystem() }},
-		{"gen", func() vm.Collector { return gengc.New() }},
-	}
 	for _, spec := range workload.All() {
-		for _, col := range collectors {
+		for _, name := range []string{"cg", "cg+recycle", "msa", "gen"} {
+			mk, err := collectors.Parse(name)
+			if err != nil {
+				b.Fatal(err)
+			}
 			for _, size := range []int{1, 10} {
-				b.Run(spec.Name+"/"+col.name+"/size"+itoa(size), func(b *testing.B) {
+				b.Run(spec.Name+"/"+name+"/size"+itoa(size), func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						rt := NewRuntime(NewHeap(spec.HeapBytes(size)), col.mk())
+						rt := NewRuntime(NewHeap(spec.HeapBytes(size)), mk())
 						spec.Run(rt, size)
 					}
 				})

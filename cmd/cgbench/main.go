@@ -1,12 +1,18 @@
 // Command cgbench regenerates every table and figure of the thesis's
-// evaluation (Chapter 4 and Appendix A) and prints them in order.
+// evaluation (Chapter 4 and Appendix A) and prints them in order. The
+// (workload × size × collector) matrix runs on the sharded execution
+// engine; -workers controls the pool size.
 //
 // Usage:
 //
-//	cgbench                 # everything (the large runs take a minute)
+//	cgbench                 # everything, saturating the host
+//	cgbench -workers 1      # sequential (paper-grade absolute timings)
 //	cgbench -fig 4.1        # a single figure
 //	cgbench -skip-timing    # demographics only (fast, deterministic)
 //	cgbench -skip-large     # omit the size-100 sweeps
+//
+// Demographics tables are byte-identical for any -workers value; only
+// the wall-clock figures (4.7, 4.8, 4.10, 4.12, A.5-A.7) vary.
 package main
 
 import (
@@ -14,14 +20,18 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
 	fig := flag.String("fig", "", "regenerate a single figure (e.g. 4.1, 4.5, A.2)")
+	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	skipTiming := flag.Bool("skip-timing", false, "skip the wall-clock experiments (4.7, 4.8, 4.10, 4.12, A.5-A.7)")
 	skipLarge := flag.Bool("skip-large", false, "skip the size-100 sweeps (4.4, 4.9, 4.10 large column, A.4, A.7)")
 	flag.Parse()
+
+	eng := engine.New(*workers)
 
 	type gen struct {
 		id     string
@@ -32,26 +42,26 @@ func main() {
 	gens := []gen{
 		{"2.1", false, false, experiments.Example21},
 		{"3.1", false, false, experiments.Example31},
-		{"4.1", false, false, func() string { return experiments.Fig41().String() }},
-		{"4.2", false, false, func() string { return experiments.Fig42_44(1).String() }},
-		{"4.3", false, false, func() string { return experiments.Fig42_44(10).String() }},
-		{"4.4", false, true, func() string { return experiments.Fig42_44(100).String() }},
-		{"4.5", false, false, func() string { return experiments.Fig45().String() }},
-		{"4.6", false, false, func() string { return experiments.Fig46().String() }},
-		{"4.7", true, false, func() string { return experiments.Fig47_48(1).String() }},
-		{"4.8", true, false, func() string { return experiments.Fig47_48(10).String() }},
-		{"4.9", false, true, func() string { return experiments.Fig49().String() }},
-		{"4.10", true, true, func() string { return experiments.Fig410([]int{1, 10, 100}).String() }},
-		{"4.11", false, false, func() string { return experiments.Fig411().String() }},
-		{"4.12", true, false, func() string { return experiments.Fig412().String() }},
-		{"4.13", false, false, func() string { return experiments.Fig413().String() }},
-		{"A.1", false, false, func() string { return experiments.FigA1().String() }},
-		{"A.2", false, false, func() string { return experiments.FigA2_4(1).String() }},
-		{"A.3", false, false, func() string { return experiments.FigA2_4(10).String() }},
-		{"A.4", false, true, func() string { return experiments.FigA2_4(100).String() }},
-		{"A.5", true, false, func() string { return experiments.FigA5_7(1).String() }},
-		{"A.6", true, false, func() string { return experiments.FigA5_7(10).String() }},
-		{"A.7", true, true, func() string { return experiments.FigA5_7(100).String() }},
+		{"4.1", false, false, func() string { return experiments.Fig41(eng).String() }},
+		{"4.2", false, false, func() string { return experiments.Fig42_44(eng, 1).String() }},
+		{"4.3", false, false, func() string { return experiments.Fig42_44(eng, 10).String() }},
+		{"4.4", false, true, func() string { return experiments.Fig42_44(eng, 100).String() }},
+		{"4.5", false, false, func() string { return experiments.Fig45(eng).String() }},
+		{"4.6", false, false, func() string { return experiments.Fig46(eng).String() }},
+		{"4.7", true, false, func() string { return experiments.Fig47_48(eng, 1).String() }},
+		{"4.8", true, false, func() string { return experiments.Fig47_48(eng, 10).String() }},
+		{"4.9", false, true, func() string { return experiments.Fig49(eng).String() }},
+		{"4.10", true, true, func() string { return experiments.Fig410(eng, []int{1, 10, 100}).String() }},
+		{"4.11", false, false, func() string { return experiments.Fig411(eng).String() }},
+		{"4.12", true, false, func() string { return experiments.Fig412(eng).String() }},
+		{"4.13", false, false, func() string { return experiments.Fig413(eng).String() }},
+		{"A.1", false, false, func() string { return experiments.FigA1(eng).String() }},
+		{"A.2", false, false, func() string { return experiments.FigA2_4(eng, 1).String() }},
+		{"A.3", false, false, func() string { return experiments.FigA2_4(eng, 10).String() }},
+		{"A.4", false, true, func() string { return experiments.FigA2_4(eng, 100).String() }},
+		{"A.5", true, false, func() string { return experiments.FigA5_7(eng, 1).String() }},
+		{"A.6", true, false, func() string { return experiments.FigA5_7(eng, 10).String() }},
+		{"A.7", true, true, func() string { return experiments.FigA5_7(eng, 100).String() }},
 	}
 
 	matched := false

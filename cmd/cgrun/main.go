@@ -1,28 +1,43 @@
 // Command cgrun assembles and executes a .jasm program (see
-// internal/jasm for the language) under a selectable collector, then
-// reports what was collected and how.
+// internal/jasm for the language) under one or more collectors resolved
+// from the registry, then reports what was collected and how. With
+// several collectors the runs execute concurrently on independent
+// runtime shards and the reports print in flag order — a side-by-side
+// ablation in one invocation.
 //
 // Usage:
 //
-//	cgrun [-collector cg|cg-noopt|cg-recycle|msa|gen] [-heap bytes] [-dis] prog.jasm
+//	cgrun [-collector spec[,spec...]] [-heap bytes] [-workers N] [-dis] prog.jasm
+//
+// Collector specs are the registry's grammar: cg, cg+noopt, cg+recycle,
+// cg+recycle+reset, msa, gen, none, ... (see internal/collectors).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/collectors"
 	"repro/internal/core"
-	"repro/internal/gengc"
+	"repro/internal/engine"
 	"repro/internal/heap"
 	"repro/internal/jasm"
-	"repro/internal/msa"
 	"repro/internal/vm"
 )
 
+// report is one shard's outcome, rendered after all shards finish.
+type report struct {
+	text string
+	err  error
+}
+
 func main() {
-	collector := flag.String("collector", "cg", "collector: cg, cg-noopt, cg-recycle, msa or gen")
-	heapBytes := flag.Int("heap", 1<<20, "arena size in bytes")
+	collector := flag.String("collector", "cg",
+		fmt.Sprintf("comma-separated collector specs (bases: %s)", strings.Join(collectors.Names(), ", ")))
+	heapBytes := flag.Int("heap", 1<<20, "arena size in bytes, per shard")
+	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	dis := flag.Bool("dis", false, "print the disassembly instead of running")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,39 +57,60 @@ func main() {
 		return
 	}
 
-	var col vm.Collector
-	switch *collector {
-	case "cg":
-		col = core.New(core.DefaultConfig())
-	case "cg-noopt":
-		col = core.New(core.Config{})
-	case "cg-recycle":
-		col = core.New(core.Config{StaticOpt: true, Recycle: true})
-	case "msa":
-		col = msa.NewSystem()
-	case "gen":
-		col = gengc.New()
-	default:
-		fatal(fmt.Errorf("unknown collector %q", *collector))
+	specs := strings.Split(*collector, ",")
+	factories := make([]collectors.Factory, len(specs))
+	for i, spec := range specs {
+		f, err := collectors.Parse(spec)
+		if err != nil {
+			fatal(err)
+		}
+		factories[i] = f
 	}
 
-	rt := vm.New(heap.New(*heapBytes), col)
+	// Each collector gets its own runtime shard; the assembled program
+	// is shared read-only (Bind builds per-shard state).
+	reports := make([]report, len(specs))
+	engine.New(*workers).Do(len(specs), func(i int) {
+		reports[i] = runOne(prog, factories[i](), *heapBytes)
+	})
+	for i, r := range reports {
+		if r.err != nil {
+			fatal(fmt.Errorf("%s: %w", specs[i], r.err))
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.text)
+	}
+}
+
+func runOne(prog *jasm.Program, col vm.Collector, heapBytes int) (rep report) {
+	// jasm surfaces OOM as an error, but a collector-internal invariant
+	// panic on a worker goroutine would otherwise kill the process and
+	// discard every other shard's report.
+	defer func() {
+		if r := recover(); r != nil {
+			rep = report{err: fmt.Errorf("shard panicked: %v", r)}
+		}
+	}()
+	rt := vm.New(heap.New(heapBytes), col)
 	if _, err := prog.Bind(rt).Run(); err != nil {
-		fatal(err)
+		return report{err: err}
 	}
-
-	fmt.Printf("collector:     %s\n", col.Name())
-	fmt.Printf("instructions:  %d\n", rt.Instr())
-	fmt.Printf("gc cycles:     %d\n", rt.GCCycles())
+	var b strings.Builder
+	fmt.Fprintf(&b, "collector:     %s\n", col.Name())
+	fmt.Fprintf(&b, "instructions:  %d\n", rt.Instr())
+	fmt.Fprintf(&b, "gc cycles:     %d\n", rt.GCCycles())
 	hs := rt.Heap.Stats()
-	fmt.Printf("allocations:   %d (%d bytes)\n", hs.Allocs, hs.BytesAlloc)
-	fmt.Printf("frees:         %d\n", hs.Frees)
-	fmt.Printf("live at exit:  %d objects, %d bytes\n", rt.Heap.NumLive(), rt.Heap.Arena().InUse())
+	fmt.Fprintf(&b, "allocations:   %d (%d bytes)\n", hs.Allocs, hs.BytesAlloc)
+	fmt.Fprintf(&b, "frees:         %d\n", hs.Frees)
+	fmt.Fprintf(&b, "live at exit:  %d objects, %d bytes\n", rt.Heap.NumLive(), rt.Heap.Arena().InUse())
 	if cg, ok := col.(*core.CG); ok {
-		b := cg.Snapshot()
-		fmt.Printf("cg popped:     %d  static: %d  thread: %d  msa: %d\n",
-			b.Popped, b.Static, b.Thread, b.MSA)
+		s := cg.Snapshot()
+		fmt.Fprintf(&b, "cg popped:     %d  static: %d  thread: %d  msa: %d\n",
+			s.Popped, s.Static, s.Thread, s.MSA)
 	}
+	return report{text: b.String()}
 }
 
 func fatal(err error) {

@@ -2,31 +2,57 @@
 // contaminated collector and dumps per-benchmark object demographics:
 // created / popped / static / thread-shared counts, block-size and
 // age-at-death histograms — the raw material of the thesis's Figures
-// 4.1–4.6 and A.1–A.4.
+// 4.1–4.6 and A.1–A.4 — plus a merged total row aggregated across all
+// shards.
+//
+// The benchmark matrix runs on the sharded execution engine; -workers
+// controls the pool. Output is byte-identical for any worker count.
 //
 // Usage:
 //
-//	cgstats [-size N] [-noopt] [-bench name]
+//	cgstats [-size N] [-collector spec] [-noopt] [-bench name] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/collectors"
 	"repro/internal/core"
-	"repro/internal/heap"
+	"repro/internal/engine"
+	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/table"
-	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
 func main() {
 	size := flag.Int("size", 1, "SPEC problem size (1, 10 or 100)")
-	noopt := flag.Bool("noopt", false, "disable the §3.4 static optimization")
+	collector := flag.String("collector", "cg",
+		fmt.Sprintf("collector spec; must resolve to the contaminated collector (bases: %s)",
+			strings.Join(collectors.Names(), ", ")))
+	noopt := flag.Bool("noopt", false, "disable the §3.4 static optimization (alias for -collector cg+noopt)")
 	bench := flag.String("bench", "", "run a single benchmark (default: all)")
+	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	spec := *collector
+	if *noopt {
+		spec += "+noopt"
+	}
+	probe, err := collectors.New(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgstats:", err)
+		os.Exit(1)
+	}
+	// Reject non-CG specs before the matrix runs, not after: the tool
+	// reports CG-specific demographics.
+	if _, ok := probe.(*core.CG); !ok {
+		fmt.Fprintf(os.Stderr, "cgstats: collector %q is not the contaminated collector\n", spec)
+		os.Exit(1)
+	}
 
 	specs := workload.All()
 	if *bench != "" {
@@ -38,24 +64,43 @@ func main() {
 		specs = []workload.Spec{s}
 	}
 
+	// One plenty-of-storage shard per benchmark: demographics are
+	// measured with the traditional collector idle ("asynchronous GC
+	// disabled … plenty of storage", §4.5).
+	jobs := make([]engine.Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = engine.Job{Workload: s.Name, Size: *size, Collector: spec}
+	}
+	// RunDemographics releases each shard's runtime as soon as its
+	// counters are extracted; a size-100 sweep would otherwise keep
+	// every shard's live set in memory until render.
+	cells, err := experiments.RunDemographics(engine.New(*workers), jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgstats:", err)
+		os.Exit(1)
+	}
+
 	tb := table.New(
-		fmt.Sprintf("Object demographics, size %d (opt=%v)", *size, !*noopt),
+		fmt.Sprintf("Object demographics, size %d (collector %s)", *size, spec),
 		"benchmark", "created", "popped", "static", "thread", "live", "collectable", "exact",
 	)
 	hists := table.New("Block sizes and age at death",
 		"benchmark", "blocks(1,2,3,4,5,6-10,>10)", "age(0..5,>5)")
-	for _, s := range specs {
-		cg := core.New(core.Config{StaticOpt: !*noopt})
-		// A large arena: demographics are measured with the traditional
-		// collector idle ("asynchronous GC disabled … plenty of
-		// storage", §4.5).
-		rt := vm.New(heap.New(512<<20), cg)
-		s.Run(rt, *size)
-		b := cg.Snapshot()
-		st := cg.Stats()
+	var totalB core.Breakdown
+	var totalS core.Stats
+	for i, s := range specs {
+		b := cells[i].B
+		st := cells[i].St
+		totalB.Merge(b)
+		totalS.Merge(st)
 		tb.Rowf(s.Name, b.Created, b.Popped, b.Static, b.Thread, b.Live,
 			stats.Pct(b.Popped, b.Created), stats.Pct(st.Singleton, b.Created))
 		hists.Rowf(s.Name, fmt.Sprint(st.BlockSize), fmt.Sprint(st.AgeAtDeath))
+	}
+	if len(specs) > 1 {
+		tb.Rowf("total", totalB.Created, totalB.Popped, totalB.Static, totalB.Thread, totalB.Live,
+			stats.Pct(totalB.Popped, totalB.Created), stats.Pct(totalS.Singleton, totalB.Created))
+		hists.Rowf("total", fmt.Sprint(totalS.BlockSize), fmt.Sprint(totalS.AgeAtDeath))
 	}
 	fmt.Print(tb)
 	fmt.Println()

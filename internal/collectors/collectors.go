@@ -1,0 +1,174 @@
+// Package collectors is the registry that maps collector names to
+// factories, so no caller hard-codes the core/msa/gengc constructors.
+// Every layer that needs a collector — the experiment harness, the
+// execution engine and the CLI tools — resolves one from a textual spec:
+//
+//	name[+modifier]...
+//
+// The base name selects a registered family ("cg", "msa", "gen",
+// "none"); modifiers refine its configuration. The contaminated
+// collector accepts the modifiers of the thesis's variants:
+//
+//	cg               the preferred configuration (§3.4 static opt on)
+//	cg+noopt         the unoptimized semantics of §2.1
+//	cg+recycle       §3.7 recycling
+//	cg+typed         Chapter 6 typed recycling (implies recycle)
+//	cg+reset         §3.6 resetting during traditional collections
+//	cg+packed        §3.5 packed union-find representation
+//	cg+checked       §3.1.4 tainted-list assurance checks
+//	cg+recycle+reset modifiers compose freely
+//
+// "cg-noopt" and "cg-recycle" are accepted as aliases for the spellings
+// the original cgrun flag used. Adding a collector variant is one
+// Register call; nothing else in the tree changes.
+package collectors
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gengc"
+	"repro/internal/msa"
+	"repro/internal/vm"
+)
+
+// Factory builds a fresh, unattached collector. Each call must return a
+// new instance: the execution engine hands every runtime shard its own
+// collector, and sharing one across shards would race.
+type Factory func() vm.Collector
+
+// Builder constructs a factory for a base name given its (possibly
+// empty) modifier list. It validates the modifiers eagerly so a bad
+// spec fails at parse time, not on the first shard.
+type Builder func(mods []string) (Factory, error)
+
+// entry is one registered collector family.
+type entry struct {
+	build Builder
+	doc   string
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]entry)
+	aliases  = make(map[string]string)
+)
+
+// Register adds a collector family under name. doc is a one-line
+// description shown by Names-driven usage text. Registering a duplicate
+// name panics: it is a wiring bug, not a runtime condition.
+func Register(name, doc string, b Builder) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("collectors: duplicate registration of %q", name))
+	}
+	registry[name] = entry{build: b, doc: doc}
+}
+
+// Alias maps an alternate spelling to a canonical spec.
+func Alias(name, spec string) {
+	mu.Lock()
+	defer mu.Unlock()
+	aliases[name] = spec
+}
+
+// Parse resolves spec to a validated factory. The factory may be called
+// any number of times, from any goroutine.
+func Parse(spec string) (Factory, error) {
+	mu.RLock()
+	parts := strings.Split(spec, "+")
+	// Aliases resolve at the base position, so an alias composes with
+	// further modifiers: "cg-recycle+reset" ≡ "cg+recycle+reset".
+	if canon, ok := aliases[parts[0]]; ok {
+		parts = append(strings.Split(canon, "+"), parts[1:]...)
+	}
+	e, ok := registry[parts[0]]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("collectors: unknown collector %q (have %s)",
+			parts[0], strings.Join(Names(), ", "))
+	}
+	f, err := e.build(parts[1:])
+	if err != nil {
+		return nil, fmt.Errorf("collectors: bad spec %q: %w", spec, err)
+	}
+	return f, nil
+}
+
+// New resolves spec and builds one collector instance.
+func New(spec string) (vm.Collector, error) {
+	f, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// Names lists the registered base names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Doc returns the one-line description of a registered base name.
+func Doc(name string) string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return registry[name].doc
+}
+
+// noMods wraps a modifier-free factory into a Builder.
+func noMods(name string, f Factory) Builder {
+	return func(mods []string) (Factory, error) {
+		if len(mods) > 0 {
+			return nil, fmt.Errorf("%s takes no modifiers, got %q", name, mods)
+		}
+		return f, nil
+	}
+}
+
+// buildCG maps modifier names onto core.Config.
+func buildCG(mods []string) (Factory, error) {
+	cfg := core.DefaultConfig()
+	for _, m := range mods {
+		switch m {
+		case "noopt":
+			cfg.StaticOpt = false
+		case "recycle":
+			cfg.Recycle = true
+		case "typed":
+			cfg.TypedRecycle = true
+		case "reset":
+			cfg.ResetOnGC = true
+		case "packed":
+			cfg.Packed = true
+		case "checked":
+			cfg.Checked = true
+		default:
+			return nil, fmt.Errorf("unknown cg modifier %q (want noopt, recycle, typed, reset, packed or checked)", m)
+		}
+	}
+	return func() vm.Collector { return core.New(cfg) }, nil
+}
+
+func init() {
+	Register("cg", "the contaminated collector (§2-§3)", buildCG)
+	Register("msa", "the traditional mark-sweep system (§4.5 base)",
+		noMods("msa", func() vm.Collector { return msa.NewSystem() }))
+	Register("gen", "the two-generation related-work baseline (§1.1)",
+		noMods("gen", func() vm.Collector { return gengc.New() }))
+	Register("none", "no collection: plenty-of-storage configuration (§4.5)",
+		noMods("none", func() vm.Collector { return vm.BaseCollector{} }))
+	Alias("cg-noopt", "cg+noopt")
+	Alias("cg-recycle", "cg+recycle")
+}

@@ -1,0 +1,127 @@
+package collectors
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gengc"
+	"repro/internal/msa"
+	"repro/internal/vm"
+)
+
+func TestNewBaseNames(t *testing.T) {
+	cases := []struct {
+		spec string
+		want any
+	}{
+		{"cg", (*core.CG)(nil)},
+		{"msa", (*msa.System)(nil)},
+		{"gen", (*gengc.System)(nil)},
+		{"none", vm.BaseCollector{}},
+	}
+	for _, c := range cases {
+		col, err := New(c.spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", c.spec, err)
+		}
+		switch c.spec {
+		case "cg":
+			if _, ok := col.(*core.CG); !ok {
+				t.Fatalf("New(%q) = %T", c.spec, col)
+			}
+		case "msa":
+			if _, ok := col.(*msa.System); !ok {
+				t.Fatalf("New(%q) = %T", c.spec, col)
+			}
+		case "gen":
+			if _, ok := col.(*gengc.System); !ok {
+				t.Fatalf("New(%q) = %T", c.spec, col)
+			}
+		case "none":
+			if _, ok := col.(vm.BaseCollector); !ok {
+				t.Fatalf("New(%q) = %T", c.spec, col)
+			}
+		}
+	}
+}
+
+func TestCGModifiersCompose(t *testing.T) {
+	col, err := New("cg+recycle+reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Name encodes the active variants (core.CG.Name's convention).
+	n := col.Name()
+	if !strings.Contains(n, "recycle") || !strings.Contains(n, "reset") {
+		t.Fatalf("cg+recycle+reset built %q", n)
+	}
+}
+
+func TestLegacyAliases(t *testing.T) {
+	for alias, wantName := range map[string]string{
+		"cg-noopt":   "cg-noopt",   // core's Name() spelling for StaticOpt off
+		"cg-recycle": "cg+recycle", // core's Name() spelling for Recycle on
+	} {
+		col, err := New(alias)
+		if err != nil {
+			t.Fatalf("New(%q): %v", alias, err)
+		}
+		if col.Name() != wantName {
+			t.Fatalf("New(%q).Name() = %q, want %q", alias, col.Name(), wantName)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New("quantum"); err == nil {
+		t.Fatal("unknown collector must error")
+	}
+	if _, err := New("cg+warp"); err == nil {
+		t.Fatal("unknown cg modifier must error")
+	}
+	if _, err := New("msa+recycle"); err == nil {
+		t.Fatal("msa must reject modifiers")
+	}
+}
+
+func TestFactoryReturnsFreshInstances(t *testing.T) {
+	f, err := Parse("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := f(), f()
+	if a == b {
+		t.Fatal("factory must build a new collector per call")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	want := []string{"cg", "gen", "msa", "none"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if Doc("cg") == "" {
+		t.Fatal("cg must have a doc line")
+	}
+}
+
+func TestAliasComposesWithModifiers(t *testing.T) {
+	col, err := New("cg-recycle+reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := col.Name()
+	if !strings.Contains(n, "recycle") || !strings.Contains(n, "reset") {
+		t.Fatalf("cg-recycle+reset built %q", n)
+	}
+	if _, err := New("cg-noopt+checked"); err != nil {
+		t.Fatalf("alias + modifier must parse: %v", err)
+	}
+}

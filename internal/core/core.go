@@ -83,6 +83,28 @@ type Stats struct {
 	OptSkips   uint64    // unions skipped by the §3.4 optimization
 }
 
+// Merge accumulates o into s. Every field is a sum, so merging shard
+// results is commutative and associative: the engine's workers may
+// finish in any order and the aggregate is identical.
+func (s *Stats) Merge(o Stats) {
+	s.Created += o.Created
+	s.Popped += o.Popped
+	s.Singleton += o.Singleton
+	s.Reused += o.Reused
+	s.MSAFreed += o.MSAFreed
+	s.Shared += o.Shared
+	s.LessLive += o.LessLive
+	s.FromStatic += o.FromStatic
+	for i := range s.BlockSize {
+		s.BlockSize[i] += o.BlockSize[i]
+	}
+	for i := range s.AgeAtDeath {
+		s.AgeAtDeath[i] += o.AgeAtDeath[i]
+	}
+	s.Unions += o.Unions
+	s.OptSkips += o.OptSkips
+}
+
 // objMeta is CG's per-handle metadata — the fields §3.1.1 adds to the JDK
 // handle (parent/rank live in the union-find forest; these are the rest).
 type objMeta struct {
@@ -653,6 +675,16 @@ type Breakdown struct {
 	Thread  uint64
 	MSA     uint64
 	Live    uint64 // live objects not on the static frame (mid-run snapshots)
+}
+
+// Merge accumulates o into b (order-independent shard aggregation).
+func (b *Breakdown) Merge(o Breakdown) {
+	b.Created += o.Created
+	b.Popped += o.Popped
+	b.Static += o.Static
+	b.Thread += o.Thread
+	b.MSA += o.MSA
+	b.Live += o.Live
 }
 
 // Snapshot classifies all objects created so far. Call after the

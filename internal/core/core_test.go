@@ -725,3 +725,28 @@ func TestCheckedCatchesTaintedTouch(t *testing.T) {
 	}()
 	th.Top().SetLocal(0, dead) // use-after-free
 }
+
+func TestStatsMergeIsOrderIndependentSum(t *testing.T) {
+	a := Stats{Created: 10, Popped: 7, Singleton: 3, Shared: 1, Unions: 5,
+		BlockSize: [7]uint64{1, 2, 0, 0, 0, 0, 4}, AgeAtDeath: [7]uint64{9, 0, 0, 0, 0, 0, 1}}
+	b := Stats{Created: 2, Popped: 1, Reused: 6, MSAFreed: 2, LessLive: 3, FromStatic: 1, OptSkips: 8,
+		BlockSize: [7]uint64{0, 1, 1, 0, 0, 0, 0}, AgeAtDeath: [7]uint64{0, 2, 0, 0, 0, 0, 0}}
+	ab, ba := a, b
+	ab.Merge(b)
+	ba.Merge(a)
+	if ab != ba {
+		t.Fatalf("Merge not commutative:\n%+v\n%+v", ab, ba)
+	}
+	if ab.Created != 12 || ab.Popped != 8 || ab.BlockSize[1] != 3 || ab.AgeAtDeath[6] != 1 {
+		t.Fatalf("Merge sums wrong: %+v", ab)
+	}
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	a := Breakdown{Created: 5, Popped: 2, Static: 1, Thread: 1, MSA: 1, Live: 0}
+	b := Breakdown{Created: 3, Popped: 1, Static: 0, Thread: 1, MSA: 0, Live: 1}
+	a.Merge(b)
+	if a != (Breakdown{Created: 8, Popped: 3, Static: 1, Thread: 2, MSA: 1, Live: 1}) {
+		t.Fatalf("Breakdown.Merge = %+v", a)
+	}
+}

@@ -1,0 +1,216 @@
+// Package engine is the sharded execution engine: a worker-pool job
+// scheduler that runs (workload, size, collector) cells of the
+// experiment matrix on independent vm.Runtime shards.
+//
+// Each vm.Runtime owns its heap, threads, statics and collector, and
+// every workload analog draws from its own deterministic RNG, so a cell
+// shares no mutable state with any other cell — the matrix is
+// embarrassingly parallel. The engine exploits that: it fans jobs out
+// to a fixed pool of workers and writes each result into the slot of
+// its job index, so callers always observe results in submission order
+// no matter which worker finished first. Merging is therefore
+// deterministic and order-independent by construction: a -workers 32
+// run renders byte-identical tables to a -workers 1 run (for the
+// demographics experiments; wall-clock measurements naturally vary).
+//
+// Layering: engine sits between the experiment harness above and the
+// runtime/collector substrate below. It resolves workloads from the
+// internal/workload registry and collectors from the internal/collectors
+// registry, so adding a benchmark or collector variant requires no
+// engine change.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/collectors"
+	"repro/internal/heap"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// DemographicsArena is the big-heap shard configuration used for object
+// accounting ("asynchronous GC disabled as well as giving it plenty of
+// storage", §4.5): the traditional collector never runs, so every
+// object is classified purely by CG.
+const DemographicsArena = 512 << 20
+
+// TightHeap, as a Job.HeapBytes value, selects the workload's own tight
+// arena budget (workload.Spec.HeapBytes) so the traditional collector
+// actually has to work — the §4.5 timing configuration.
+const TightHeap = -1
+
+// Job is one cell of the experiment matrix.
+type Job struct {
+	// Workload names a registered benchmark analog.
+	Workload string
+	// Size is the SPEC problem size (1, 10 or 100).
+	Size int
+	// Collector is a collector spec resolved by internal/collectors
+	// (e.g. "cg", "msa", "cg+recycle+reset").
+	Collector string
+	// HeapBytes is the shard's arena budget: a positive byte count,
+	// 0 for DemographicsArena, or TightHeap for the workload's own
+	// pressure-inducing budget.
+	HeapBytes int
+	// GCEvery, when non-zero, forces a full collection every GCEvery
+	// runtime operations (the §4.7 resetting instrumentation).
+	GCEvery uint64
+	// Repeats re-runs the cell on fresh shards (minimum 1). Result
+	// captures the last shard and the mean wall time per repeat; small
+	// cells finish in well under a millisecond, so timing experiments
+	// repeat them to keep scheduler jitter out of the comparison.
+	Repeats int
+}
+
+// Result is the outcome of one Job.
+type Result struct {
+	// Job echoes the submitted cell.
+	Job Job
+	// RT is the runtime shard of the last repeat. It is quiescent: no
+	// engine goroutine touches it once the job completes.
+	RT *vm.Runtime
+	// Col is the collector of the last repeat; callers type-assert it
+	// (e.g. to *core.CG) to extract statistics.
+	Col vm.Collector
+	// Elapsed is the mean wall time per repeat.
+	Elapsed time.Duration
+	// Err is non-nil if the spec failed to resolve or the run panicked
+	// (workloads panic on hard OOM; the engine converts that to an
+	// error so one exhausted shard cannot take down the matrix).
+	Err error
+}
+
+// Exec runs one job synchronously in the caller's goroutine. It is the
+// unit of work Engine.Run distributes; callers with their own
+// per-benchmark control flow (probe runs, budget retry loops) may call
+// it directly.
+func Exec(job Job) (res Result) {
+	res.Job = job
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("engine: %s/%d under %s panicked: %v",
+				job.Workload, job.Size, job.Collector, r)
+		}
+	}()
+
+	spec, err := workload.ByName(job.Workload)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	factory, err := collectors.Parse(job.Collector)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	bytes := job.HeapBytes
+	switch {
+	case bytes == 0:
+		bytes = DemographicsArena
+	case bytes == TightHeap:
+		bytes = spec.HeapBytes(job.Size)
+	case bytes < 0:
+		res.Err = fmt.Errorf("engine: bad heap budget %d", bytes)
+		return res
+	}
+	reps := job.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		col := factory()
+		rt := vm.New(heap.New(bytes), col)
+		rt.GCEvery = job.GCEvery
+		spec.Run(rt, job.Size)
+		res.RT, res.Col = rt, col
+	}
+	res.Elapsed = time.Since(start) / time.Duration(reps)
+	return res
+}
+
+// Engine is a fixed-size worker pool. The zero value is not usable;
+// construct with New. An Engine is stateless between calls and safe for
+// concurrent use.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with the given worker count; workers <= 0
+// selects GOMAXPROCS (saturate the hardware).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Do runs fn(i) for every i in [0, n) on the pool and returns when all
+// calls have completed. Each fn call must confine its writes to state
+// owned by shard i (typically a per-index result slot); distinct
+// indices never alias, which is what makes merges order-independent.
+func (e *Engine) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Run executes jobs concurrently and returns their results in
+// submission order: results[i] is the outcome of jobs[i] regardless of
+// completion order. Every Result retains its shard's full runtime until
+// the caller drops it, so the peak footprint is all cells at once; for
+// matrices of big-heap shards prefer RunEach and extract only what the
+// merge needs.
+func (e *Engine) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	e.Do(len(jobs), func(i int) {
+		results[i] = Exec(jobs[i])
+	})
+	return results
+}
+
+// RunEach executes jobs concurrently, invoking consume(i, result) on
+// the worker's goroutine as cell i completes, and retains nothing: once
+// consume returns, the shard's runtime is garbage. Peak memory is
+// bounded by the worker count instead of the matrix size — the
+// sequential-loop footprint at -workers 1. Like Do's fn, consume must
+// confine its writes to state owned by index i.
+func (e *Engine) RunEach(jobs []Job, consume func(i int, r Result)) {
+	e.Do(len(jobs), func(i int) {
+		consume(i, Exec(jobs[i]))
+	})
+}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	New(8).Do(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestRunResultsInSubmissionOrder(t *testing.T) {
+	jobs := []Job{
+		{Workload: "compress", Size: 1, Collector: "cg"},
+		{Workload: "db", Size: 1, Collector: "cg"},
+		{Workload: "jess", Size: 1, Collector: "msa"},
+	}
+	res := New(3).Run(jobs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Job.Workload != jobs[i].Workload || r.Job.Collector != jobs[i].Collector {
+			t.Fatalf("result %d is for %s/%s, want %s/%s",
+				i, r.Job.Workload, r.Job.Collector, jobs[i].Workload, jobs[i].Collector)
+		}
+		if r.RT == nil || r.Col == nil {
+			t.Fatalf("result %d missing shard state", i)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := []Job{
+		{Workload: "compress", Size: 1, Collector: "cg"},
+		{Workload: "jess", Size: 1, Collector: "cg"},
+		{Workload: "raytrace", Size: 1, Collector: "cg"},
+		{Workload: "db", Size: 1, Collector: "cg+noopt"},
+	}
+	seq := New(1).Run(jobs)
+	par := New(4).Run(jobs)
+	for i := range jobs {
+		ss := seq[i].Col.(*core.CG).Stats()
+		ps := par[i].Col.(*core.CG).Stats()
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("job %d stats diverge between 1 and 4 workers:\n%+v\n%+v", i, ss, ps)
+		}
+		if seq[i].RT.Instr() != par[i].RT.Instr() {
+			t.Fatalf("job %d instruction counts diverge", i)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	if r := Exec(Job{Workload: "nosuch", Size: 1, Collector: "cg"}); r.Err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	if r := Exec(Job{Workload: "compress", Size: 1, Collector: "nosuch"}); r.Err == nil {
+		t.Fatal("unknown collector must error")
+	}
+	if r := Exec(Job{Workload: "compress", Size: 1, Collector: "cg", HeapBytes: -7}); r.Err == nil {
+		t.Fatal("negative heap budget must error")
+	}
+}
+
+func TestExecRecoversShardPanic(t *testing.T) {
+	// A 1 KiB arena cannot hold any analog's live set: the shard hits a
+	// hard OOM panic, which must surface as Result.Err, not crash the
+	// matrix.
+	r := Exec(Job{Workload: "compress", Size: 1, Collector: "msa", HeapBytes: 1 << 10})
+	if r.Err == nil {
+		t.Fatal("OOM shard must report an error")
+	}
+}
+
+func TestRepeatsUseFreshShards(t *testing.T) {
+	one := Exec(Job{Workload: "db", Size: 1, Collector: "cg"})
+	five := Exec(Job{Workload: "db", Size: 1, Collector: "cg", Repeats: 5})
+	if one.Err != nil || five.Err != nil {
+		t.Fatalf("unexpected errors: %v, %v", one.Err, five.Err)
+	}
+	// The last repeat's collector saw exactly one run's worth of
+	// allocations: repeats do not accumulate state.
+	a := one.Col.(*core.CG).Stats().Created
+	b := five.Col.(*core.CG).Stats().Created
+	if a != b {
+		t.Fatalf("repeat shard created %d objects, single run %d", b, a)
+	}
+}
+
+func TestTightHeapBudget(t *testing.T) {
+	r := Exec(Job{Workload: "compress", Size: 1, Collector: "msa", HeapBytes: TightHeap})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	spec, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.RT.Heap.Arena().Size(), spec.HeapBytes(1); got != want {
+		t.Fatalf("tight shard arena = %d bytes, want the workload budget %d", got, want)
+	}
+	big := Exec(Job{Workload: "compress", Size: 1, Collector: "msa"})
+	if got := big.RT.Heap.Arena().Size(); got != DemographicsArena {
+		t.Fatalf("default shard arena = %d bytes, want %d", got, DemographicsArena)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("workers must default to at least 1")
+	}
+	if New(7).Workers() != 7 {
+		t.Fatal("explicit worker count must stick")
+	}
+}
+
+func TestRunEachConsumesEveryCellInIndexSlot(t *testing.T) {
+	jobs := []Job{
+		{Workload: "compress", Size: 1, Collector: "cg"},
+		{Workload: "db", Size: 1, Collector: "msa"},
+		{Workload: "nosuch", Size: 1, Collector: "cg"},
+	}
+	got := make([]Result, len(jobs))
+	New(3).RunEach(jobs, func(i int, r Result) { got[i] = r })
+	if got[0].Err != nil || got[1].Err != nil {
+		t.Fatalf("good cells errored: %v, %v", got[0].Err, got[1].Err)
+	}
+	if got[0].Job.Workload != "compress" || got[1].Job.Workload != "db" {
+		t.Fatal("results landed in the wrong slots")
+	}
+	if got[2].Err == nil {
+		t.Fatal("bad cell must carry its error")
+	}
+}

@@ -4,10 +4,22 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/collectors"
 	"repro/internal/core"
 	"repro/internal/heap"
 	"repro/internal/vm"
 )
+
+// exampleCG resolves a contaminated collector from the registry; the
+// worked examples inspect CG-specific observables (DependentFrame), so
+// they assert the concrete type.
+func exampleCG(spec string) *core.CG {
+	col, err := collectors.New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return col.(*core.CG)
+}
 
 // Example21 replays the worked example of Figures 2.1 and 2.2: five
 // stack frames, objects A-E, and the five instructions that rearrange
@@ -19,7 +31,7 @@ func Example21() string {
 
 	h := heap.New(1 << 16)
 	node := h.DefineClass(heap.Class{Name: "Object", Refs: 2, Data: 8})
-	cg := core.New(core.Config{StaticOpt: false}) // the unoptimized semantics of §2.1
+	cg := exampleCG("cg+noopt") // the unoptimized semantics of §2.1
 	rt := vm.New(h, cg)
 	th := rt.NewThread(1)
 	slot := rt.StaticSlot("E")
@@ -88,7 +100,7 @@ func Example31() string {
 
 	h := heap.New(1 << 16)
 	node := h.DefineClass(heap.Class{Name: "Object", Refs: 1, Data: 8})
-	cg := core.New(core.DefaultConfig())
+	cg := exampleCG("cg")
 	rt := vm.New(h, cg)
 	t1 := rt.NewThread(1)
 	t2 := rt.NewThread(1)

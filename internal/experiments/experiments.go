@@ -1,49 +1,101 @@
 // Package experiments regenerates every table and figure of the thesis's
-// evaluation (Chapter 4 and Appendix A). Each Fig* function runs the
-// relevant workloads under the relevant collector configurations and
-// renders the same rows the paper reports; EXPERIMENTS.md records the
-// measured output next to the paper's numbers.
+// evaluation (Chapter 4 and Appendix A). Each Fig* function describes
+// the relevant (workload × size × collector) cells as engine jobs,
+// submits them to the caller's sharded execution engine, and renders
+// the same rows the paper reports from the merged results.
+//
+// Determinism: every demographics cell runs on an isolated vm.Runtime
+// shard with a deterministic workload RNG, and results land in
+// submission-order slots, so the rendered tables are byte-identical
+// for any worker count (see TestEngineDeterminism). Only the wall-clock
+// figures (4.7, 4.8, 4.10, 4.12, A.5–A.7) vary run to run, as they did
+// on the thesis's hardware.
 package experiments
 
 import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/heap"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/table"
-	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
-// demographicsArena is the big-heap configuration used for object
-// accounting ("asynchronous GC disabled as well as giving it plenty of
-// storage", §4.5): the traditional collector never runs, so every object
-// is classified purely by CG.
-const demographicsArena = 512 << 20
+// Cell is the small extract a demographics consumer needs from one
+// shard: the end-of-run classification, the CG counters and the forced
+// traditional-collection count (Fig 4.11).
+type Cell struct {
+	B  core.Breakdown
+	St core.Stats
+	GC int
+}
 
-// run executes one analog at size under cfg with an effectively
-// unbounded heap and returns the collector.
-func run(name string, size int, cfg core.Config) *core.CG {
-	spec, err := workload.ByName(name)
+// RunDemographics executes demographics jobs on the engine and returns
+// one Cell per job in submission order. Shards are released as their
+// cells complete (a size-100 shard holds millions of live objects;
+// retaining the whole matrix until render would multiply peak memory by
+// the job count). Every job must resolve to a contaminated-collector
+// variant. cmd/cgstats shares this path with the Fig* regenerators.
+func RunDemographics(eng *engine.Engine, jobs []engine.Job) ([]Cell, error) {
+	cells := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+	eng.RunEach(jobs, func(i int, r engine.Result) {
+		if r.Err != nil {
+			errs[i] = r.Err
+			return
+		}
+		cg, ok := r.Col.(*core.CG)
+		if !ok {
+			errs[i] = fmt.Errorf("experiments: %q is not the contaminated collector", jobs[i].Collector)
+			return
+		}
+		cells[i] = Cell{B: cg.Snapshot(), St: cg.Stats(), GC: r.RT.GCCycles()}
+	})
+	// Fail on the caller's goroutine, not a worker's.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// demographics is the Fig* shorthand: one plenty-of-storage cell per
+// benchmark under one collector spec. The figure matrix has no
+// legitimate failure mode, so an error is a harness bug and panics.
+func demographics(eng *engine.Engine, specs []workload.Spec, size int, collector string, gcEvery uint64) []Cell {
+	jobs := make([]engine.Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = engine.Job{Workload: s.Name, Size: size, Collector: collector, GCEvery: gcEvery}
+	}
+	cells, err := RunDemographics(eng, jobs)
 	if err != nil {
 		panic(err)
 	}
-	cg := core.New(cfg)
-	rt := vm.New(heap.New(demographicsArena), cg)
-	spec.Run(rt, size)
-	return cg
+	return cells
 }
 
 // Fig41 reproduces Figure 4.1: per benchmark, objects created and the
 // percentage collectable without and with the §3.4 optimization (size 1).
-func Fig41() *table.Table {
+func Fig41(eng *engine.Engine) *table.Table {
 	t := table.New("Fig 4.1: percentage of objects collectable, without and with the static optimization (size 1)",
 		"benchmark", "description", "objects created", "no opt", "with opt")
-	for _, s := range workload.All() {
-		noOpt := run(s.Name, 1, core.Config{StaticOpt: false})
-		withOpt := run(s.Name, 1, core.Config{StaticOpt: true})
-		bn, bw := noOpt.Snapshot(), withOpt.Snapshot()
+	specs := workload.All()
+	// One 2N-job submission, not two N-job barriers: both collector
+	// sweeps share the pool, so no worker idles between them.
+	jobs := make([]engine.Job, 0, 2*len(specs))
+	for _, s := range specs {
+		jobs = append(jobs,
+			engine.Job{Workload: s.Name, Size: 1, Collector: "cg+noopt"},
+			engine.Job{Workload: s.Name, Size: 1, Collector: "cg"})
+	}
+	cells, err := RunDemographics(eng, jobs)
+	if err != nil {
+		panic(err)
+	}
+	for i, s := range specs {
+		bn, bw := cells[2*i].B, cells[2*i+1].B
 		t.Rowf(s.Name, s.Desc, bw.Created,
 			stats.Pct(bn.Popped, bn.Created), stats.Pct(bw.Popped, bw.Created))
 	}
@@ -52,13 +104,14 @@ func Fig41() *table.Table {
 
 // Fig42_44 reproduces Figures 4.2 (size 1), 4.3 (size 10) and 4.4
 // (size 100): the static and thread-shared percentages per benchmark.
-func Fig42_44(size int) *table.Table {
+func Fig42_44(eng *engine.Engine, size int) *table.Table {
 	t := table.New(fmt.Sprintf("Fig 4.%d: objects treated as static and as thread-shared (size %d)", figFromSize(size),
 		size),
 		"benchmark", "created", "collectable", "static", "thread-shared")
-	for _, s := range workload.All() {
-		cg := run(s.Name, size, core.DefaultConfig())
-		b := cg.Snapshot()
+	specs := workload.All()
+	cells := demographics(eng, specs, size, "cg", 0)
+	for i, s := range specs {
+		b := cells[i].B
 		t.Rowf(s.Name, b.Created, stats.Pct(b.Popped, b.Created),
 			stats.Pct(b.Static, b.Created), stats.Pct(b.Thread, b.Created))
 	}
@@ -79,13 +132,13 @@ func figFromSize(size int) int {
 // Fig45 reproduces Figure 4.5: the distribution of equilive block sizes
 // at collection time, plus the percentage of objects that were collected
 // exactly (singleton blocks).
-func Fig45() *table.Table {
+func Fig45(eng *engine.Engine) *table.Table {
 	t := table.New("Fig 4.5: distribution of collected block sizes (size 1)",
 		"benchmark", "total collectable", "1", "2", "3", "4", "5", "6-10", ">10", "percent exact")
-	for _, s := range workload.All() {
-		cg := run(s.Name, 1, core.DefaultConfig())
-		st := cg.Stats()
-		b := cg.Snapshot()
+	specs := workload.All()
+	cells := demographics(eng, specs, 1, "cg", 0)
+	for i, s := range specs {
+		st, b := cells[i].St, cells[i].B
 		t.Rowf(s.Name, b.Popped,
 			st.BlockSize[0], st.BlockSize[1], st.BlockSize[2], st.BlockSize[3],
 			st.BlockSize[4], st.BlockSize[5], st.BlockSize[6],
@@ -96,12 +149,13 @@ func Fig45() *table.Table {
 
 // Fig46 reproduces Figure 4.6: the age at death (frame distance from
 // birth to collection) of CG-collected objects.
-func Fig46() *table.Table {
+func Fig46(eng *engine.Engine) *table.Table {
 	t := table.New("Fig 4.6: age at death of collected objects, in frame distance (size 1)",
 		"benchmark", "0", "1", "2", "3", "4", "5", ">5")
-	for _, s := range workload.All() {
-		cg := run(s.Name, 1, core.DefaultConfig())
-		st := cg.Stats()
+	specs := workload.All()
+	cells := demographics(eng, specs, 1, "cg", 0)
+	for i, s := range specs {
+		st := cells[i].St
 		t.Rowf(s.Name,
 			st.AgeAtDeath[0], st.AgeAtDeath[1], st.AgeAtDeath[2], st.AgeAtDeath[3],
 			st.AgeAtDeath[4], st.AgeAtDeath[5], st.AgeAtDeath[6])
@@ -112,13 +166,13 @@ func Fig46() *table.Table {
 // Fig49 reproduces Figure 4.9: the large (size 100) runs — objects
 // created, percentage collectable with the optimization, and percentage
 // exactly collectable.
-func Fig49() *table.Table {
+func Fig49(eng *engine.Engine) *table.Table {
 	t := table.New("Fig 4.9: SPEC benchmarks, large runs (size 100)",
 		"benchmark", "objects created", "collectable (with opt)", "exactly collectable")
-	for _, s := range workload.All() {
-		cg := run(s.Name, 100, core.DefaultConfig())
-		b := cg.Snapshot()
-		st := cg.Stats()
+	specs := workload.All()
+	cells := demographics(eng, specs, 100, "cg", 0)
+	for i, s := range specs {
+		b, st := cells[i].B, cells[i].St
 		t.Rowf(s.Name, b.Created, stats.Pct(b.Popped, b.Created), stats.Pct(st.Singleton, b.Created))
 	}
 	return t
@@ -126,12 +180,13 @@ func Fig49() *table.Table {
 
 // FigA1 reproduces Figure A.1: of the objects treated as static, the
 // percentage demoted because of sharing among threads.
-func FigA1() *table.Table {
+func FigA1(eng *engine.Engine) *table.Table {
 	t := table.New("Fig A.1: static objects due to sharing among threads (size 1)",
 		"benchmark", "total static+thread", "percent due to threads")
-	for _, s := range workload.All() {
-		cg := run(s.Name, 1, core.DefaultConfig())
-		b := cg.Snapshot()
+	specs := workload.All()
+	cells := demographics(eng, specs, 1, "cg", 0)
+	for i, s := range specs {
+		b := cells[i].B
 		immortal := b.Static + b.Thread
 		t.Rowf(s.Name, immortal, stats.Pct(b.Thread, immortal))
 	}
@@ -140,12 +195,13 @@ func FigA1() *table.Table {
 
 // FigA2_4 reproduces Figures A.2 (small), A.3 (medium) and A.4 (large):
 // the absolute object breakdown into popped / static / thread.
-func FigA2_4(size int) *table.Table {
+func FigA2_4(eng *engine.Engine, size int) *table.Table {
 	t := table.New(fmt.Sprintf("Fig A.%d: object breakdown (size %d)", figFromSize(size), size),
 		"benchmark", "popped", "static", "thread")
-	for _, s := range workload.All() {
-		cg := run(s.Name, size, core.DefaultConfig())
-		b := cg.Snapshot()
+	specs := workload.All()
+	cells := demographics(eng, specs, size, "cg", 0)
+	for i, s := range specs {
+		b := cells[i].B
 		t.Rowf(s.Name, b.Popped, b.Static, b.Thread)
 	}
 	return t
@@ -161,61 +217,68 @@ const resetGCEvery = 1200
 // Fig411 reproduces Figure 4.11: resetting CG structures during forced
 // traditional collections — objects collected by MSA, objects found less
 // live than CG believed, and the number of GC cycles.
-func Fig411() *table.Table {
+func Fig411(eng *engine.Engine) *table.Table {
 	t := table.New(fmt.Sprintf("Fig 4.11: resetting results, small runs (MSA forced every %d operations)", resetGCEvery),
 		"benchmark", "collected by MSA", "less live", "moved from static", "GC cycles")
-	for _, s := range workload.All() {
-		cg := core.New(core.Config{StaticOpt: true, ResetOnGC: true})
-		rt := vm.New(heap.New(demographicsArena), cg)
-		rt.GCEvery = resetGCEvery
-		spec, err := workload.ByName(s.Name)
-		if err != nil {
-			panic(err)
-		}
-		spec.Run(rt, 1)
-		st := cg.Stats()
-		t.Rowf(s.Name, st.MSAFreed, st.LessLive, st.FromStatic, rt.GCCycles())
+	specs := workload.All()
+	cells := demographics(eng, specs, 1, "cg+reset", resetGCEvery)
+	for i, s := range specs {
+		st := cells[i].St
+		t.Rowf(s.Name, st.MSAFreed, st.LessLive, st.FromStatic, cells[i].GC)
 	}
 	return t
 }
 
 // Fig413 reproduces Figure 4.13: the number of objects recycled (§3.7)
-// versus the total allocated, small runs.
-func Fig413() *table.Table {
+// versus the total allocated, small runs. Recycling only engages under
+// allocation pressure, so each benchmark shard calibrates its own arena
+// from a probe run and retries with more slack if the budget undershoots
+// the collector's peak holdings — per-benchmark control flow the
+// engine's generic Do distributes across the pool.
+func Fig413(eng *engine.Engine) *table.Table {
 	t := table.New("Fig 4.13: number of objects recycled, small runs",
 		"benchmark", "objects recycled", "percent of total")
-	for _, s := range workload.All() {
-		spec, err := workload.ByName(s.Name)
-		if err != nil {
-			panic(err)
+	specs := workload.All()
+	results := make([]core.Stats, len(specs))
+	errs := make([]error, len(specs))
+	eng.Do(len(specs), func(i int) {
+		// Calibrate the arena from a probe run: final live bytes plus
+		// half the garbage bytes (the thesis sized its runs so the heap
+		// filled).
+		probe := engine.Exec(engine.Job{Workload: specs[i].Name, Size: 1, Collector: "cg"})
+		if probe.Err != nil {
+			// Fail on the caller's goroutine, not the worker's: a panic
+			// here would kill the process instead of unwinding.
+			errs[i] = probe.Err
+			return
 		}
-		// Recycling only engages under allocation pressure. Calibrate
-		// the arena from a probe run: final live bytes plus half the
-		// garbage bytes (the thesis sized its runs so the heap filled).
-		probe := core.New(core.DefaultConfig())
-		prt := vm.New(heap.New(demographicsArena), probe)
-		spec.Run(prt, 1)
-		live := prt.Heap.Arena().InUse()
-		garbage := int(prt.Heap.Stats().BytesAlloc) - live
+		live := probe.RT.Heap.Arena().InUse()
+		garbage := int(probe.RT.Heap.Stats().BytesAlloc) - live
 		budget := live + garbage/2
 
-		// If the budget undershoots the collector's peak holdings the
-		// run aborts with a hard OOM; widen the slack and retry.
-		var st core.Stats
-		for {
-			ok := func() (ok bool) {
-				defer func() { ok = recover() == nil }()
-				cg := core.New(core.Config{StaticOpt: true, Recycle: true})
-				rt := vm.New(heap.New(budget), cg)
-				spec.Run(rt, 1)
-				st = cg.Stats()
-				return true
-			}()
-			if ok {
-				break
+		// An undershot budget surfaces as a hard-OOM job error; widen
+		// the slack and retry. The attempt cap turns a budget-independent
+		// failure (anything but OOM) into a report instead of an
+		// unbounded arena-growth loop.
+		const maxAttempts = 24
+		var lastErr error
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			r := engine.Exec(engine.Job{Workload: specs[i].Name, Size: 1,
+				Collector: "cg+recycle", HeapBytes: budget})
+			if r.Err == nil {
+				results[i] = r.Col.(*core.CG).Stats()
+				return
 			}
+			lastErr = r.Err
 			budget += garbage/4 + 1<<10
 		}
+		errs[i] = lastErr
+	})
+	for i, s := range specs {
+		if errs[i] != nil {
+			panic(errs[i])
+		}
+		st := results[i]
 		t.Rowf(s.Name, st.Reused, stats.Pct(st.Reused, st.Created))
 	}
 	return t

@@ -3,7 +3,13 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
+
+// testEng saturates the host: every figure regenerates through the
+// sharded engine exactly as cgbench does by default.
+var testEng = engine.New(0)
 
 // parse pulls the data rows out of a rendered table (skips title,
 // header, rule and notes).
@@ -19,7 +25,7 @@ func rows(s string) [][]string {
 }
 
 func TestFig41Shape(t *testing.T) {
-	tb := Fig41().String()
+	tb := Fig41(testEng).String()
 	rs := rows(tb)
 	if len(rs) != 8 {
 		t.Fatalf("Fig 4.1 must have 8 rows, got %d:\n%s", len(rs), tb)
@@ -55,7 +61,7 @@ func sscanPct(s string, v *int) (int, error) {
 }
 
 func TestFig42HasJavacThreadShare(t *testing.T) {
-	tb := Fig42_44(1).String()
+	tb := Fig42_44(testEng, 1).String()
 	for _, r := range rows(tb) {
 		if r[0] == "javac" {
 			var share int
@@ -70,14 +76,14 @@ func TestFig42HasJavacThreadShare(t *testing.T) {
 }
 
 func TestFig45RowsSumToCollectable(t *testing.T) {
-	tb := Fig45().String()
+	tb := Fig45(testEng).String()
 	if len(rows(tb)) != 8 {
 		t.Fatalf("Fig 4.5 must have 8 rows:\n%s", tb)
 	}
 }
 
 func TestFig46RaytraceDeepDeaths(t *testing.T) {
-	tb := Fig46().String()
+	tb := Fig46(testEng).String()
 	for _, r := range rows(tb) {
 		if r[0] == "raytrace" {
 			var over5 int
@@ -95,14 +101,14 @@ func TestFig49LargeRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large runs in -short mode")
 	}
-	tb := Fig49().String()
+	tb := Fig49(testEng).String()
 	if len(rows(tb)) != 8 {
 		t.Fatalf("Fig 4.9 must have 8 rows:\n%s", tb)
 	}
 }
 
 func TestFig411ResettingRuns(t *testing.T) {
-	tb := Fig411().String()
+	tb := Fig411(testEng).String()
 	rs := rows(tb)
 	if len(rs) != 8 {
 		t.Fatalf("Fig 4.11 must have 8 rows:\n%s", tb)
@@ -120,7 +126,7 @@ func TestFig411ResettingRuns(t *testing.T) {
 }
 
 func TestFig413RecyclingCountsSomething(t *testing.T) {
-	tb := Fig413().String()
+	tb := Fig413(testEng).String()
 	rs := rows(tb)
 	if len(rs) != 8 {
 		t.Fatalf("Fig 4.13 must have 8 rows:\n%s", tb)
@@ -137,14 +143,14 @@ func TestFig413RecyclingCountsSomething(t *testing.T) {
 }
 
 func TestFigA1(t *testing.T) {
-	tb := FigA1().String()
+	tb := FigA1(testEng).String()
 	if len(rows(tb)) != 8 {
 		t.Fatalf("Fig A.1 must have 8 rows:\n%s", tb)
 	}
 }
 
 func TestFigA2Breakdown(t *testing.T) {
-	tb := FigA2_4(1).String()
+	tb := FigA2_4(testEng, 1).String()
 	if len(rows(tb)) != 8 {
 		t.Fatalf("Fig A.2 must have 8 rows:\n%s", tb)
 	}
@@ -182,12 +188,34 @@ func TestTimingSmokeTest(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing in -short mode")
 	}
-	tb := Fig47_48(1).String()
+	tb := Fig47_48(testEng, 1).String()
 	if len(rows(tb)) != 8 {
 		t.Fatalf("Fig 4.7 must have 8 rows:\n%s", tb)
 	}
-	tb = Fig412().String()
+	tb = Fig412(testEng).String()
 	if len(rows(tb)) != 8 {
 		t.Fatalf("Fig 4.12 must have 8 rows:\n%s", tb)
+	}
+}
+
+// TestEngineDeterminism is the merge soundness check: a multi-worker
+// regeneration of the demographics figures must render byte-identical
+// tables to a -workers 1 run — results land in submission-order slots,
+// so completion order must not be observable.
+func TestEngineDeterminism(t *testing.T) {
+	seq := engine.New(1)
+	par := engine.New(8)
+	for _, c := range []struct {
+		fig string
+		gen func(*engine.Engine) string
+	}{
+		{"4.1", func(e *engine.Engine) string { return Fig41(e).String() }},
+		{"4.5", func(e *engine.Engine) string { return Fig45(e).String() }},
+		{"4.11", func(e *engine.Engine) string { return Fig411(e).String() }},
+	} {
+		a, b := c.gen(seq), c.gen(par)
+		if a != b {
+			t.Fatalf("Fig %s diverges between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", c.fig, a, b)
+		}
 	}
 }

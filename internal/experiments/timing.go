@@ -4,12 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/heap"
-	"repro/internal/msa"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/table"
-	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -17,51 +14,73 @@ import (
 // reports five (Appendix A.5-A.7).
 const Repeats = 5
 
-// timeRun measures the wall-clock execution of a workload at size under
-// a freshly attached collector built by mk, with the workload's tight
-// heap budget (so the traditional collector actually has to work in the
-// baseline configuration, §4.5). Small sizes finish in well under a
-// millisecond, so the measurement repeats the run and reports the mean —
-// otherwise scheduler jitter dominates the comparison.
-func timeRun(spec workload.Spec, size int, mk func() vm.Collector) time.Duration {
-	reps := 1
+// averagingReps is the number of back-to-back executions one timing job
+// averages over. Small sizes finish in well under a millisecond, so a
+// single execution would be dominated by scheduler jitter.
+func averagingReps(size int) int {
 	switch size {
 	case 1:
-		reps = 20
+		return 20
 	case 10:
-		reps = 3
+		return 3
 	}
-	start := time.Now()
-	for i := 0; i < reps; i++ {
-		rt := vm.New(heap.New(spec.HeapBytes(size)), mk())
-		spec.Run(rt, size)
-	}
-	return time.Since(start) / time.Duration(reps)
+	return 1
 }
 
-// timings runs a workload Repeats times under both systems and returns
-// the per-run durations (CG system first, base system second).
-func timings(spec workload.Spec, size int, cgCfg core.Config) (cg, base []time.Duration) {
-	for i := 0; i < Repeats; i++ {
-		cg = append(cg, timeRun(spec, size, func() vm.Collector { return core.New(cgCfg) }))
-		base = append(base, timeRun(spec, size, func() vm.Collector { return msa.NewSystem() }))
+// timings runs every benchmark Repeats times under two collector specs
+// on the engine and returns the per-benchmark duration series. Jobs for
+// the two systems are interleaved (a, b, a, b, ...) so that with more
+// than one worker both systems face the same mix of concurrent
+// neighbours: absolute numbers still include scheduling contention, but
+// it cancels in the speedup columns. For paper-grade absolute timings
+// run -workers 1.
+func timings(eng *engine.Engine, specs []workload.Spec, size int, a, b string) (as, bs [][]time.Duration) {
+	reps := averagingReps(size)
+	jobs := make([]engine.Job, 0, 2*len(specs)*Repeats)
+	for _, s := range specs {
+		for r := 0; r < Repeats; r++ {
+			for _, col := range []string{a, b} {
+				jobs = append(jobs, engine.Job{Workload: s.Name, Size: size,
+					Collector: col, HeapBytes: engine.TightHeap, Repeats: reps})
+			}
+		}
 	}
-	return cg, base
+	els := make([]time.Duration, len(jobs))
+	errs := make([]error, len(jobs))
+	eng.RunEach(jobs, func(i int, r engine.Result) {
+		els[i], errs[i] = r.Elapsed, r.Err
+	})
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	for i := range specs {
+		sa := make([]time.Duration, Repeats)
+		sb := make([]time.Duration, Repeats)
+		for r := 0; r < Repeats; r++ {
+			sa[r], sb[r] = els[(i*Repeats+r)*2], els[(i*Repeats+r)*2+1]
+		}
+		as = append(as, sa)
+		bs = append(bs, sb)
+	}
+	return as, bs
 }
 
 // Fig47_48 reproduces Figures 4.7 (size 1) and 4.8 (size 10): mean wall
 // time of the CG system versus the base (traditional-collector-only)
 // system, with the speedup of CG over the base in the rightmost column.
-func Fig47_48(size int) *table.Table {
+func Fig47_48(eng *engine.Engine, size int) *table.Table {
 	fig := "4.7"
 	if size == 10 {
 		fig = "4.8"
 	}
 	t := table.New(fmt.Sprintf("Fig %s: timing results, size %d (mean of %d runs, seconds)", fig, size, Repeats),
 		"benchmark", "CG", "base", "speedup")
-	for _, s := range workload.All() {
-		cg, base := timings(s, size, core.DefaultConfig())
-		cs, bs := stats.SummarizeDurations(cg), stats.SummarizeDurations(base)
+	specs := workload.All()
+	cg, base := timings(eng, specs, size, "cg", "msa")
+	for i, s := range specs {
+		cs, bs := stats.SummarizeDurations(cg[i]), stats.SummarizeDurations(base[i])
 		t.Rowf(s.Name, fmt.Sprintf("%.4f", cs.Mean), fmt.Sprintf("%.4f", bs.Mean),
 			fmt.Sprintf("%.2f", stats.Speedup(bs.Mean, cs.Mean)))
 	}
@@ -70,19 +89,25 @@ func Fig47_48(size int) *table.Table {
 
 // Fig410 reproduces Figure 4.10: the speedup of the CG system over the
 // base system across all three problem sizes.
-func Fig410(sizes []int) *table.Table {
+func Fig410(eng *engine.Engine, sizes []int) *table.Table {
 	headers := []string{"benchmark"}
 	for _, sz := range sizes {
 		headers = append(headers, fmt.Sprintf("size %d", sz))
 	}
 	t := table.New("Fig 4.10: speedup of the CG system over the base system", headers...)
-	for _, s := range workload.All() {
-		row := []any{s.Name}
-		for _, sz := range sizes {
-			cg, base := timings(s, sz, core.DefaultConfig())
-			row = append(row, fmt.Sprintf("%.2f",
-				stats.Speedup(stats.SummarizeDurations(base).Mean, stats.SummarizeDurations(cg).Mean)))
+	specs := workload.All()
+	rows := make([][]any, len(specs))
+	for i, s := range specs {
+		rows[i] = []any{s.Name}
+	}
+	for _, sz := range sizes {
+		cg, base := timings(eng, specs, sz, "cg", "msa")
+		for i := range specs {
+			rows[i] = append(rows[i], fmt.Sprintf("%.2f",
+				stats.Speedup(stats.SummarizeDurations(base[i]).Mean, stats.SummarizeDurations(cg[i]).Mean)))
 		}
+	}
+	for _, row := range rows {
 		t.Rowf(row...)
 	}
 	return t
@@ -90,13 +115,13 @@ func Fig410(sizes []int) *table.Table {
 
 // Fig412 reproduces Figure 4.12: CG with and without §3.7 recycling,
 // small runs.
-func Fig412() *table.Table {
+func Fig412(eng *engine.Engine) *table.Table {
 	t := table.New(fmt.Sprintf("Fig 4.12: recycle timing, small runs (mean of %d runs, seconds)", Repeats),
 		"benchmark", "CG", "CG with recycling", "speedup using recycling")
-	for _, s := range workload.All() {
-		plain, _ := timings(s, 1, core.DefaultConfig())
-		rec, _ := timings(s, 1, core.Config{StaticOpt: true, Recycle: true})
-		ps, rs := stats.SummarizeDurations(plain), stats.SummarizeDurations(rec)
+	specs := workload.All()
+	plain, rec := timings(eng, specs, 1, "cg", "cg+recycle")
+	for i, s := range specs {
+		ps, rs := stats.SummarizeDurations(plain[i]), stats.SummarizeDurations(rec[i])
 		t.Rowf(s.Name, fmt.Sprintf("%.4f", ps.Mean), fmt.Sprintf("%.4f", rs.Mean),
 			fmt.Sprintf("%.2f", stats.Speedup(ps.Mean, rs.Mean)))
 	}
@@ -105,14 +130,15 @@ func Fig412() *table.Table {
 
 // FigA5_7 reproduces Appendix Figures A.5 (small), A.6 (medium) and A.7
 // (large): the raw per-run timings behind the means.
-func FigA5_7(size int) *table.Table {
+func FigA5_7(eng *engine.Engine, size int) *table.Table {
 	fig := map[int]string{1: "A.5", 10: "A.6", 100: "A.7"}[size]
 	t := table.New(fmt.Sprintf("Fig %s: raw timings, size %d (seconds)", fig, size),
 		"benchmark", "CG", "base")
-	for _, s := range workload.All() {
-		cg, base := timings(s, size, core.DefaultConfig())
-		for i := range cg {
-			t.Rowf(s.Name, fmt.Sprintf("%.4f", cg[i].Seconds()), fmt.Sprintf("%.4f", base[i].Seconds()))
+	specs := workload.All()
+	cg, base := timings(eng, specs, size, "cg", "msa")
+	for i, s := range specs {
+		for r := range cg[i] {
+			t.Rowf(s.Name, fmt.Sprintf("%.4f", cg[i][r].Seconds()), fmt.Sprintf("%.4f", base[i][r].Seconds()))
 		}
 	}
 	return t

@@ -40,6 +40,16 @@ type Stats struct {
 	Remembered uint64 // write-barrier insertions
 }
 
+// Merge accumulates o into s (order-independent shard aggregation).
+func (s *Stats) Merge(o Stats) {
+	s.Minor += o.Minor
+	s.Major += o.Major
+	s.FreedYoung += o.FreedYoung
+	s.FreedOld += o.FreedOld
+	s.Promoted += o.Promoted
+	s.Remembered += o.Remembered
+}
+
 // System is the generational collector; it implements vm.Collector.
 type System struct {
 	vm.BaseCollector

@@ -196,3 +196,12 @@ func TestHandleReuseResetsGeneration(t *testing.T) {
 		t.Fatal("recycled handle inherited old-generation bit")
 	}
 }
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Minor: 2, Major: 1, FreedYoung: 9, FreedOld: 3, Promoted: 4, Remembered: 2}
+	b := Stats{Minor: 1, Major: 0, FreedYoung: 1, FreedOld: 0, Promoted: 2, Remembered: 5}
+	a.Merge(b)
+	if a != (Stats{Minor: 3, Major: 1, FreedYoung: 10, FreedOld: 3, Promoted: 6, Remembered: 7}) {
+		t.Fatalf("Stats.Merge = %+v", a)
+	}
+}

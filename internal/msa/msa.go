@@ -59,6 +59,14 @@ type Stats struct {
 	EdgeVisits uint64 // cumulative reference traversals
 }
 
+// Merge accumulates o into s (order-independent shard aggregation).
+func (s *Stats) Merge(o Stats) {
+	s.Cycles += o.Cycles
+	s.Marked += o.Marked
+	s.Freed += o.Freed
+	s.EdgeVisits += o.EdgeVisits
+}
+
 // Collector is the mark–sweep engine. It holds no policy about *when* to
 // collect; the runtime (or a wrapping collector) decides that.
 type Collector struct {

@@ -250,3 +250,12 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 	_ = rt
 }
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Cycles: 1, Marked: 10, Freed: 4, EdgeVisits: 20}
+	b := Stats{Cycles: 2, Marked: 5, Freed: 1, EdgeVisits: 7}
+	a.Merge(b)
+	if a != (Stats{Cycles: 3, Marked: 15, Freed: 5, EdgeVisits: 27}) {
+		t.Fatalf("Stats.Merge = %+v", a)
+	}
+}

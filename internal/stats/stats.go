@@ -48,6 +48,37 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Merge combines two summaries as if Summarize had seen both sample
+// sets at once (pooled mean and variance, Chan et al.'s parallel
+// update), so per-shard summaries aggregate without revisiting the raw
+// measurements. Merging is exact for N, Mean, Min and Max and
+// numerically stable for Std.
+func (s Summary) Merge(o Summary) Summary {
+	if s.N == 0 {
+		return o
+	}
+	if o.N == 0 {
+		return s
+	}
+	n1, n2 := float64(s.N), float64(o.N)
+	out := Summary{N: s.N + o.N, Min: s.Min, Max: s.Max}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	delta := o.Mean - s.Mean
+	out.Mean = (n1*s.Mean + n2*o.Mean) / (n1 + n2)
+	// Reassemble the centered sums of squares; single-sample summaries
+	// carry Std 0, which is exactly their contribution.
+	m2 := s.Std*s.Std*(n1-1) + o.Std*o.Std*(n2-1) + delta*delta*n1*n2/(n1+n2)
+	if out.N > 1 {
+		out.Std = math.Sqrt(m2 / float64(out.N-1))
+	}
+	return out
+}
+
 // SummarizeDurations is Summarize over time.Durations, in seconds.
 func SummarizeDurations(ds []time.Duration) Summary {
 	xs := make([]float64, len(ds))

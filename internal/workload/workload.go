@@ -43,9 +43,27 @@ type Spec struct {
 	Run func(rt *vm.Runtime, size int)
 }
 
-// All returns the eight analogs in the thesis's table order.
-func All() []Spec {
-	return []Spec{
+// registry holds the registered analogs in registration order (the
+// thesis's table order for the built-in eight). It is populated from
+// init and read-only afterwards, so the execution engine's workers may
+// resolve workloads concurrently without locking.
+var registry []Spec
+
+// Register adds an analog to the matrix. Every layer — the engine, the
+// experiment harness and the CLI tools — iterates the registry, so a
+// new benchmark is one Register call, not edits in five places.
+// Duplicate names panic: they are a wiring bug.
+func Register(s Spec) {
+	for _, r := range registry {
+		if r.Name == s.Name {
+			panic(fmt.Sprintf("workload: duplicate registration of %q", s.Name))
+		}
+	}
+	registry = append(registry, s)
+}
+
+func init() {
+	for _, s := range []Spec{
 		Compress(),
 		Jess(),
 		Raytrace(),
@@ -54,12 +72,20 @@ func All() []Spec {
 		Mpegaudio(),
 		MTRT(),
 		Jack(),
+	} {
+		Register(s)
 	}
+}
+
+// All returns the registered analogs, the built-in eight first in the
+// thesis's table order. The returned slice is a copy.
+func All() []Spec {
+	return append([]Spec(nil), registry...)
 }
 
 // ByName finds an analog by its SPEC name.
 func ByName(name string) (Spec, error) {
-	for _, s := range All() {
+	for _, s := range registry {
 		if s.Name == name {
 			return s, nil
 		}

@@ -12,7 +12,9 @@
 //   - internal/vm — the runtime (frames, threads, statics, interning)
 //   - internal/msa — the traditional mark–sweep baseline
 //   - internal/gengc — a generational baseline for ablations
-//   - internal/workload — SPECjvm98 benchmark analogs
+//   - internal/workload — SPECjvm98 benchmark analogs (a registry)
+//   - internal/collectors — the collector registry (name → factory)
+//   - internal/engine — the sharded execution engine (worker pool)
 //   - internal/experiments — regenerators for every table/figure
 //   - internal/jasm — a textual assembly for the runtime
 //
@@ -30,7 +32,9 @@
 package repro
 
 import (
+	"repro/internal/collectors"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gengc"
 	"repro/internal/heap"
 	"repro/internal/msa"
@@ -58,6 +62,12 @@ type (
 	Thread = vm.Thread
 	// Collector is the event interface all collectors implement.
 	Collector = vm.Collector
+	// Engine is the sharded execution engine (worker-pool scheduler).
+	Engine = engine.Engine
+	// Job is one (workload, size, collector) cell of the matrix.
+	Job = engine.Job
+	// Result is the outcome of one Job.
+	Result = engine.Result
 )
 
 // Nil is the null reference.
@@ -83,3 +93,11 @@ func NewMarkSweep() Collector { return msa.NewSystem() }
 // NewGenerational returns the two-generation baseline used by the
 // related-work ablations (§1.1, §5).
 func NewGenerational() Collector { return gengc.New() }
+
+// NewCollector resolves a collector spec from the registry, e.g. "cg",
+// "cg+recycle+reset", "msa", "gen".
+func NewCollector(spec string) (Collector, error) { return collectors.New(spec) }
+
+// NewEngine returns a sharded execution engine; workers <= 0 selects
+// GOMAXPROCS.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
