@@ -29,9 +29,16 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	skipTiming := flag.Bool("skip-timing", false, "skip the wall-clock experiments (4.7, 4.8, 4.10, 4.12, A.5-A.7)")
 	skipLarge := flag.Bool("skip-large", false, "skip the size-100 sweeps (4.4, 4.9, 4.10 large column, A.4, A.7)")
+	maxHeap := flag.String("max-heap-bytes", "0",
+		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
 	flag.Parse()
 
-	eng := engine.New(*workers)
+	heapCap, err := engine.ParseByteSize(*maxHeap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgbench:", err)
+		os.Exit(2)
+	}
+	eng := engine.New(*workers).SetMaxHeapBytes(heapCap)
 
 	type gen struct {
 		id     string

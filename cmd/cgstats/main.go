@@ -36,7 +36,15 @@ func main() {
 	noopt := flag.Bool("noopt", false, "disable the §3.4 static optimization (alias for -collector cg+noopt)")
 	bench := flag.String("bench", "", "run a single benchmark (default: all)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	maxHeap := flag.String("max-heap-bytes", "0",
+		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
 	flag.Parse()
+
+	heapCap, err := engine.ParseByteSize(*maxHeap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgstats:", err)
+		os.Exit(2)
+	}
 
 	spec := *collector
 	if *noopt {
@@ -74,7 +82,7 @@ func main() {
 	// RunDemographics releases each shard's runtime as soon as its
 	// counters are extracted; a size-100 sweep would otherwise keep
 	// every shard's live set in memory until render.
-	cells, err := experiments.RunDemographics(engine.New(*workers), jobs)
+	cells, err := experiments.RunDemographics(engine.New(*workers).SetMaxHeapBytes(heapCap), jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgstats:", err)
 		os.Exit(1)

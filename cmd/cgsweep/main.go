@@ -1,0 +1,127 @@
+// Command cgsweep runs the demographics figures as a resumable,
+// optionally multi-process sweep. Rows stream to stdout in figure
+// order the moment their cells complete, and the rendered bytes are
+// identical for every backend configuration: -procs 4 against worker
+// processes, -workers 8 in-process, or a resume over a half-filled
+// store all print the same tables.
+//
+// Usage:
+//
+//	cgsweep                               # all demographic figures, in-process
+//	cgsweep -figs 4.1,4.5,4.11            # a subset
+//	cgsweep -procs 4                      # fan cells out to 4 cgworker processes
+//	cgsweep -store cells/                 # persist cells; a rerun skips completed ones
+//	cgsweep -max-heap-bytes 2GiB          # bound aggregate arena bytes per process
+//
+// With -store, a killed sweep (power cut, OOM kill, ^C) is restarted
+// with the same command line and completes from where it died: cells
+// already on disk are served from the store (the stderr summary counts
+// them) and only the missing ones recompute.
+//
+// With -procs N the coordinator spawns N cgworker children — found via
+// -worker, next to the cgsweep binary, or on $PATH — each hosting its
+// own engine pool of -workers shards. Cells in flight on a worker that
+// dies are retried on the survivors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/results"
+)
+
+func main() {
+	figsFlag := flag.String("figs", "", "comma-separated figure ids (default: all demographic figures)")
+	procs := flag.Int("procs", 0, "worker processes to fan cells out to (0 = run in-process)")
+	workers := flag.Int("workers", 0, "engine workers per process (0 = GOMAXPROCS; with -procs, per child)")
+	storeDir := flag.String("store", "", "results store directory; completed cells are persisted and resumed")
+	workerCmd := flag.String("worker", "", "cgworker binary for -procs (default: beside cgsweep, then $PATH)")
+	maxHeap := flag.String("max-heap-bytes", "0",
+		"aggregate arena cap for concurrently admitted cells, per process (e.g. 2GiB; 0 = unlimited)")
+	flag.Parse()
+
+	var ids []string
+	if *figsFlag != "" {
+		ids = strings.Split(*figsFlag, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	figs, err := experiments.DemographicFigs(ids...)
+	if err != nil {
+		fatal(err)
+	}
+	heapCap, err := engine.ParseByteSize(*maxHeap)
+	if err != nil {
+		fatal(err)
+	}
+
+	var backend results.Backend
+	if *procs > 0 {
+		bin, err := workerBinary(*workerCmd)
+		if err != nil {
+			fatal(err)
+		}
+		perChild := *workers
+		if perChild <= 0 {
+			// Split the host across children rather than oversubscribing
+			// it procs-fold.
+			perChild = (engine.New(0).Workers() + *procs - 1) / *procs
+		}
+		argv := []string{bin, "-workers", strconv.Itoa(perChild), "-max-heap-bytes", strconv.FormatInt(heapCap, 10)}
+		backend = &dist.Coordinator{Spawn: dist.Command(argv, os.Stderr), Procs: *procs}
+	} else {
+		backend = results.Local{Eng: engine.New(*workers).SetMaxHeapBytes(heapCap)}
+	}
+
+	var resuming *results.Resuming
+	if *storeDir != "" {
+		store, err := results.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		resuming = &results.Resuming{Store: store, Next: backend}
+		backend = resuming
+	}
+
+	if err := experiments.Sweep(backend, figs, os.Stdout); err != nil {
+		fatal(err)
+	}
+	if resuming != nil {
+		stored, computed := resuming.Stats()
+		fmt.Fprintf(os.Stderr, "cgsweep: %d cells from store, %d computed\n", stored, computed)
+	}
+}
+
+// workerBinary resolves the cgworker executable: an explicit -worker
+// path wins, then a cgworker beside our own binary (the `go build -o
+// bin/ ./cmd/...` layout), then $PATH.
+func workerBinary(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "cgworker")
+		if info, err := os.Stat(sibling); err == nil && !info.IsDir() {
+			return sibling, nil
+		}
+	}
+	if bin, err := exec.LookPath("cgworker"); err == nil {
+		return bin, nil
+	}
+	return "", fmt.Errorf("cgsweep: cgworker binary not found beside cgsweep or on $PATH; build it (go build ./cmd/cgworker) or pass -worker")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgsweep:", err)
+	os.Exit(1)
+}

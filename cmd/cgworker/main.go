@@ -1,0 +1,44 @@
+// Command cgworker is one worker process of a distributed sweep: it
+// speaks internal/dist's NDJSON protocol on stdin/stdout, runs each
+// received cell on its own engine pool, and streams serialised
+// outcomes back. cgsweep -procs N spawns N of these; there is no
+// reason to run one by hand except to poke the protocol:
+//
+//	echo '{"type":"job","id":0,"job":{"Workload":"compress","Size":1,"Collector":"cg"}}' | cgworker
+//
+// Usage:
+//
+//	cgworker [-workers N] [-max-heap-bytes SIZE]
+//
+// -workers sets the in-process pool (and the advertised capacity the
+// coordinator's flow-control window uses); -max-heap-bytes caps the
+// aggregate arena bytes of concurrently admitted cells, so a host
+// running several workers can bound each one's footprint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+)
+
+func main() {
+	workers := flag.Int("workers", 1, "engine worker count for this process (0 = GOMAXPROCS)")
+	maxHeap := flag.String("max-heap-bytes", "0",
+		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
+	flag.Parse()
+
+	cap, err := engine.ParseByteSize(*maxHeap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgworker:", err)
+		os.Exit(2)
+	}
+	eng := engine.New(*workers).SetMaxHeapBytes(cap)
+	if err := dist.Serve(os.Stdin, os.Stdout, eng); err != nil {
+		fmt.Fprintln(os.Stderr, "cgworker:", err)
+		os.Exit(1)
+	}
+}

@@ -35,6 +35,8 @@ func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmarks (default: all)")
 	repeats := flag.Int("repeats", 1, "averaging repeats per cell")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	maxHeap := flag.String("max-heap-bytes", "0",
+		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
 	flag.Parse()
 
 	if *specList == "" {
@@ -68,7 +70,12 @@ func main() {
 				Collector: c, HeapBytes: engine.TightHeap, Repeats: *repeats})
 		}
 	}
-	eng := engine.New(*workers)
+	heapCap, err := engine.ParseByteSize(*maxHeap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "t100:", err)
+		os.Exit(2)
+	}
+	eng := engine.New(*workers).SetMaxHeapBytes(heapCap)
 	// Extract per-cell wall time and cycle counts as shards complete;
 	// size-100 tight heaps are modest, but there is no reason to hold
 	// every runtime until render.

@@ -26,7 +26,6 @@ package collectors
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -49,6 +48,7 @@ type Builder func(mods []string) (Factory, error)
 type entry struct {
 	build Builder
 	doc   string
+	mods  []string
 }
 
 var (
@@ -58,15 +58,20 @@ var (
 )
 
 // Register adds a collector family under name. doc is a one-line
-// description shown by Names-driven usage text. Registering a duplicate
-// name panics: it is a wiring bug, not a runtime condition.
-func Register(name, doc string, b Builder) {
+// description shown by Names-driven usage text; mods declares the
+// modifier names the builder accepts (the spec round-trip test and
+// usage text enumerate the grammar from them). The builder must treat
+// modifiers as a set — order and multiplicity carry no meaning — so
+// canonicalised specs (see Spec) select the same configuration.
+// Registering a duplicate name panics: it is a wiring bug, not a
+// runtime condition.
+func Register(name, doc string, b Builder, mods ...string) {
 	mu.Lock()
 	defer mu.Unlock()
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("collectors: duplicate registration of %q", name))
 	}
-	registry[name] = entry{build: b, doc: doc}
+	registry[name] = entry{build: b, doc: doc, mods: canonMods(mods)}
 }
 
 // Alias maps an alternate spelling to a canonical spec.
@@ -79,24 +84,11 @@ func Alias(name, spec string) {
 // Parse resolves spec to a validated factory. The factory may be called
 // any number of times, from any goroutine.
 func Parse(spec string) (Factory, error) {
-	mu.RLock()
-	parts := strings.Split(spec, "+")
-	// Aliases resolve at the base position, so an alias composes with
-	// further modifiers: "cg-recycle+reset" ≡ "cg+recycle+reset".
-	if canon, ok := aliases[parts[0]]; ok {
-		parts = append(strings.Split(canon, "+"), parts[1:]...)
-	}
-	e, ok := registry[parts[0]]
-	mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("collectors: unknown collector %q (have %s)",
-			parts[0], strings.Join(Names(), ", "))
-	}
-	f, err := e.build(parts[1:])
+	s, err := ParseSpec(spec)
 	if err != nil {
-		return nil, fmt.Errorf("collectors: bad spec %q: %w", spec, err)
+		return nil, err
 	}
-	return f, nil
+	return s.Factory()
 }
 
 // New resolves spec and builds one collector instance.
@@ -162,7 +154,8 @@ func buildCG(mods []string) (Factory, error) {
 }
 
 func init() {
-	Register("cg", "the contaminated collector (§2-§3)", buildCG)
+	Register("cg", "the contaminated collector (§2-§3)", buildCG,
+		"noopt", "recycle", "typed", "reset", "packed", "checked")
 	Register("msa", "the traditional mark-sweep system (§4.5 base)",
 		noMods("msa", func() vm.Collector { return msa.NewSystem() }))
 	Register("gen", "the two-generation related-work baseline (§1.1)",

@@ -1,0 +1,274 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/results"
+)
+
+// maxAttempts bounds how many distinct workers may try one cell before
+// the coordinator gives up and fills the slot with an error outcome.
+// Job-level failures (a panicking workload) are *results* and are never
+// retried — cells are deterministic; only transport failures (a worker
+// process dying mid-cell) requeue work.
+const maxAttempts = 3
+
+// Conn is one worker transport: the worker's stdin, its stdout, and a
+// close hook that reaps whatever was spawned.
+type Conn struct {
+	W io.WriteCloser
+	R io.Reader
+	// Close releases the worker (kill + reap for processes). Must be
+	// safe to call after W is closed.
+	Close func() error
+}
+
+// Spawner starts worker id and returns its connection.
+type Spawner func(id int) (*Conn, error)
+
+// Coordinator fans cells out to Procs workers and implements
+// results.Backend: outcomes are merged through index-ordered emission,
+// so the multi-process path is indistinguishable from the in-process
+// one to everything downstream. Cells in flight on a worker that dies
+// are retried on the surviving workers.
+type Coordinator struct {
+	Spawn Spawner
+	Procs int
+}
+
+// sched is the shared scheduling state: a queue of ready cell indices,
+// per-cell attempt counts, and the index-ordered results.Reorder that
+// emits completed outcomes (shared with the in-process backend, so the
+// duplicate-drop and prefix-flush rules cannot drift between paths).
+type sched struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []engine.Job
+	queue   []int
+	attempt []int
+	done    int
+	ord     *results.Reorder
+	workers int // live workers
+}
+
+// tryNext pops a ready cell without blocking.
+func (s *sched) tryNext() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	i := s.queue[0]
+	s.queue = s.queue[1:]
+	return i, true
+}
+
+// waitNext blocks until a cell is ready (a dead worker's cells can
+// requeue at any time) or every cell has completed.
+func (s *sched) waitNext() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && s.done < len(s.jobs) {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	i := s.queue[0]
+	s.queue = s.queue[1:]
+	return i, true
+}
+
+// complete records cell i's outcome and wakes idle workers when the
+// matrix finishes (so they stop waiting for work that will never come).
+func (s *sched) complete(i int, o results.Outcome) {
+	s.ord.Add(i, o)
+	s.mu.Lock()
+	s.done++
+	fin := s.done == len(s.jobs)
+	s.mu.Unlock()
+	if fin {
+		s.cond.Broadcast()
+	}
+}
+
+// requeue returns a dead worker's in-flight cells to the queue, or —
+// past the attempt cap — fills their slots with an error outcome so the
+// matrix still completes deterministically. cause is the transport
+// error being charged to the cells.
+func (s *sched) requeue(cells []int, cause error) {
+	if len(cells) == 0 {
+		return
+	}
+	var exhausted []int
+	s.mu.Lock()
+	for _, i := range cells {
+		s.attempt[i]++
+		if s.attempt[i] >= maxAttempts {
+			exhausted = append(exhausted, i)
+		} else {
+			s.queue = append(s.queue, i)
+		}
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	for _, i := range exhausted {
+		s.complete(i, results.Outcome{
+			Job: s.jobs[i],
+			Err: fmt.Sprintf("dist: cell failed on %d workers: last transport error: %v", maxAttempts, cause),
+		})
+	}
+}
+
+// Run implements results.Backend.
+func (c *Coordinator) Run(jobs []engine.Job, emit func(i int, o results.Outcome)) error {
+	procs := c.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	s := &sched{
+		jobs:    jobs,
+		attempt: make([]int, len(jobs)),
+		ord:     results.NewReorder(len(jobs), emit),
+		workers: procs,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.queue = make([]int, len(jobs))
+	for i := range jobs {
+		s.queue[i] = i
+	}
+
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				s.mu.Lock()
+				s.workers--
+				last := s.workers == 0
+				s.mu.Unlock()
+				if last {
+					// No one is left to serve requeued cells; unblock any
+					// sibling still parked in waitNext.
+					s.cond.Broadcast()
+				}
+			}()
+			errs[w] = c.runWorker(s, w)
+		}(w)
+	}
+	wg.Wait()
+
+	emitted := s.ord.Emitted()
+	if emitted == len(jobs) {
+		// Every cell completed (possibly as a capped-retry error
+		// outcome); individual worker transports may still have failed,
+		// but the batch is whole.
+		return nil
+	}
+	err := fmt.Errorf("dist: %d of %d cells never completed", len(jobs)-emitted, len(jobs))
+	for w, werr := range errs {
+		if werr != nil {
+			err = fmt.Errorf("%w; worker %d: %v", err, w, werr)
+		}
+	}
+	return err
+}
+
+// runWorker owns one worker connection for the whole batch: it keeps up
+// to the worker's advertised capacity in flight, reads results, and on
+// any transport failure requeues its in-flight cells and returns.
+func (c *Coordinator) runWorker(s *sched, id int) (err error) {
+	conn, err := c.Spawn(id)
+	if err != nil {
+		// A worker that never started holds no cells; siblings cover the
+		// queue. If *every* spawn fails, Run reports the shortfall.
+		return fmt.Errorf("dist: spawn worker %d: %w", id, err)
+	}
+	inflight := make(map[int]bool)
+	defer func() {
+		conn.W.Close()
+		if conn.Close != nil {
+			if cerr := conn.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		s.requeue(keys(inflight), err)
+	}()
+
+	bw := bufio.NewWriter(conn.W)
+	enc := json.NewEncoder(bw)
+	dec := json.NewDecoder(bufio.NewReader(conn.R))
+
+	var hello response
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("dist: worker %d hello: %w", id, err)
+	}
+	if hello.Type != "hello" || hello.Proto != protoVersion {
+		return fmt.Errorf("dist: worker %d spoke %q proto %d, want hello proto %d",
+			id, hello.Type, hello.Proto, protoVersion)
+	}
+	capacity := hello.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+
+	// send charges i to this worker *before* writing, so any failure
+	// path — here or a later read error — funnels through the one
+	// deferred requeue.
+	send := func(i int) error {
+		inflight[i] = true
+		if err := enc.Encode(request{Type: "job", ID: i, Job: s.jobs[i]}); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	for {
+		// Fill the window without blocking; the queue may be drained by
+		// siblings while cells are still in flight elsewhere.
+		for len(inflight) < capacity {
+			i, ok := s.tryNext()
+			if !ok {
+				break
+			}
+			if err := send(i); err != nil {
+				return fmt.Errorf("dist: worker %d send: %w", id, err)
+			}
+		}
+		if len(inflight) == 0 {
+			// Nothing in flight here: block for requeued work or batch end.
+			i, ok := s.waitNext()
+			if !ok {
+				return nil
+			}
+			if err := send(i); err != nil {
+				return fmt.Errorf("dist: worker %d send: %w", id, err)
+			}
+			continue
+		}
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			return fmt.Errorf("dist: worker %d read: %w", id, err)
+		}
+		if resp.Type != "result" || resp.Outcome == nil || !inflight[resp.ID] {
+			return fmt.Errorf("dist: worker %d sent unexpected %q for cell %d", id, resp.Type, resp.ID)
+		}
+		delete(inflight, resp.ID)
+		s.complete(resp.ID, *resp.Outcome)
+	}
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package dist distributes the experiment matrix across worker
+// processes. The transport is deliberately boring: newline-delimited
+// JSON over a worker's stdin/stdout, so a worker is anything that can
+// be spawned with two pipes — a local cgworker child today, an
+// ssh-wrapped one on another machine tomorrow.
+//
+// Protocol (one JSON object per line):
+//
+//	worker -> coordinator   {"type":"hello","proto":1,"capacity":K}
+//	coordinator -> worker   {"type":"job","id":I,"job":{...}}        (at most K unanswered)
+//	worker -> coordinator   {"type":"result","id":I,"outcome":{...}}
+//	coordinator closes the worker's stdin; worker drains and exits 0.
+//
+// The coordinator keeps at most `capacity` jobs in flight per worker (a
+// sliding window), which doubles as flow control: a worker always has
+// pool capacity for what it has been sent, so neither side can wedge on
+// a full pipe. Determinism does not depend on scheduling: results carry
+// their cell index and the coordinator merges them through the same
+// index-ordered reorder as the in-process path, so a -procs 4 sweep
+// renders byte-identical tables to a -workers 1 run.
+package dist
+
+import (
+	"repro/internal/engine"
+	"repro/internal/results"
+)
+
+// protoVersion guards against coordinator/worker skew: a hello with a
+// different version aborts the worker connection before any job is
+// lost to a silent schema mismatch.
+const protoVersion = 1
+
+// request is a coordinator→worker message.
+type request struct {
+	Type string     `json:"type"` // "job"
+	ID   int        `json:"id"`
+	Job  engine.Job `json:"job"`
+}
+
+// response is a worker→coordinator message.
+type response struct {
+	Type     string           `json:"type"`            // "hello" | "result"
+	Proto    int              `json:"proto,omitempty"` // hello
+	Capacity int              `json:"capacity,omitempty"`
+	ID       int              `json:"id"` // result
+	Outcome  *results.Outcome `json:"outcome,omitempty"`
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// heapBudget is the admission throttle behind SetMaxHeapBytes: a
+// counting semaphore over arena bytes. acquire blocks until the charge
+// fits under the cap — except that a charge larger than the whole cap
+// is admitted once the pool is otherwise empty, so one oversized shard
+// degrades to sequential execution instead of deadlocking.
+type heapBudget struct {
+	max   int64
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inUse int64
+}
+
+func newHeapBudget(max int64) *heapBudget {
+	b := &heapBudget{max: max}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// acquire blocks until bytes fits: inUse+bytes <= max, or the pool is
+// empty (the oversized-job escape hatch).
+func (b *heapBudget) acquire(bytes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.inUse != 0 && b.inUse+bytes > b.max {
+		b.cond.Wait()
+	}
+	b.inUse += bytes
+}
+
+// release returns bytes to the budget and wakes blocked admissions.
+func (b *heapBudget) release(bytes int64) {
+	b.mu.Lock()
+	b.inUse -= bytes
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// ParseByteSize parses a human byte count for -max-heap-bytes style
+// flags: a plain integer is bytes; KiB/MiB/GiB (or K/M/G) suffixes
+// scale by powers of 1024. "0" means unlimited.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	shift := 0
+	for suffix, sh := range map[string]int{
+		"KiB": 10, "K": 10, "MiB": 20, "M": 20, "GiB": 30, "G": 30,
+	} {
+		if strings.HasSuffix(t, suffix) {
+			t, shift = strings.TrimSuffix(t, suffix), sh
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("engine: bad byte size %q (want e.g. 1073741824, 512MiB, 2GiB)", s)
+	}
+	if n>>(63-shift) != 0 {
+		return 0, fmt.Errorf("engine: byte size %q overflows", s)
+	}
+	return n << shift, nil
+}

@@ -84,10 +84,32 @@ type Result struct {
 	Err error
 }
 
+// ArenaBytes resolves the arena budget a job's shard will allocate: an
+// explicit positive HeapBytes, the plenty-of-storage demographics
+// default, or the workload's own tight budget. The memory-cap admission
+// throttle charges jobs by this value before they run.
+func ArenaBytes(job Job) (int, error) {
+	switch {
+	case job.HeapBytes > 0:
+		return job.HeapBytes, nil
+	case job.HeapBytes == 0:
+		return DemographicsArena, nil
+	case job.HeapBytes == TightHeap:
+		spec, err := workload.ByName(job.Workload)
+		if err != nil {
+			return 0, err
+		}
+		return spec.HeapBytes(job.Size), nil
+	default:
+		return 0, fmt.Errorf("engine: bad heap budget %d", job.HeapBytes)
+	}
+}
+
 // Exec runs one job synchronously in the caller's goroutine. It is the
 // unit of work Engine.Run distributes; callers with their own
 // per-benchmark control flow (probe runs, budget retry loops) may call
-// it directly.
+// it directly. Package-level Exec ignores any engine memory cap; use
+// Engine.Exec for throttled admission.
 func Exec(job Job) (res Result) {
 	res.Job = job
 	defer func() {
@@ -107,14 +129,9 @@ func Exec(job Job) (res Result) {
 		res.Err = err
 		return res
 	}
-	bytes := job.HeapBytes
-	switch {
-	case bytes == 0:
-		bytes = DemographicsArena
-	case bytes == TightHeap:
-		bytes = spec.HeapBytes(job.Size)
-	case bytes < 0:
-		res.Err = fmt.Errorf("engine: bad heap budget %d", bytes)
+	bytes, err := ArenaBytes(job)
+	if err != nil {
+		res.Err = err
 		return res
 	}
 	reps := job.Repeats
@@ -134,11 +151,12 @@ func Exec(job Job) (res Result) {
 	return res
 }
 
-// Engine is a fixed-size worker pool. The zero value is not usable;
-// construct with New. An Engine is stateless between calls and safe for
-// concurrent use.
+// Engine is a fixed-size worker pool with an optional aggregate memory
+// cap. The zero value is not usable; construct with New. An Engine
+// holds no per-run state and is safe for concurrent use.
 type Engine struct {
 	workers int
+	budget  *heapBudget // nil when uncapped
 }
 
 // New returns an engine with the given worker count; workers <= 0
@@ -152,6 +170,50 @@ func New(workers int) *Engine {
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetMaxHeapBytes caps the aggregate arena bytes of concurrently
+// admitted jobs (n <= 0 removes the cap) and returns e for chaining.
+// Every job path that knows its arena budget — Exec, Run, RunEach,
+// Stream — blocks admission while running jobs hold cap-exceeding
+// budgets, so -workers 16 of 512 MiB demographics arenas cannot thrash
+// an 8 GiB machine. A single job larger than the cap is admitted alone
+// rather than deadlocking: the cap throttles aggregate pressure, it is
+// not a per-job limit. Set before submitting work; the cap does not
+// apply to the generic Do, which has no job to charge.
+func (e *Engine) SetMaxHeapBytes(n int64) *Engine {
+	if n <= 0 {
+		e.budget = nil
+	} else {
+		e.budget = newHeapBudget(n)
+	}
+	return e
+}
+
+// MaxHeapBytes reports the aggregate cap (0 = uncapped).
+func (e *Engine) MaxHeapBytes() int64 {
+	if e.budget == nil {
+		return 0
+	}
+	return e.budget.max
+}
+
+// Exec runs one job in the caller's goroutine, first acquiring the
+// job's arena budget from the engine's memory cap (blocking while
+// admission would push aggregate arena bytes over the cap). This is the
+// admission-controlled entry the distribution worker uses for jobs that
+// arrive one at a time rather than as a batch.
+func (e *Engine) Exec(job Job) Result {
+	if e.budget == nil {
+		return Exec(job)
+	}
+	bytes, err := ArenaBytes(job)
+	if err != nil {
+		return Result{Job: job, Err: err}
+	}
+	e.budget.acquire(int64(bytes))
+	defer e.budget.release(int64(bytes))
+	return Exec(job)
+}
 
 // Do runs fn(i) for every i in [0, n) on the pool and returns when all
 // calls have completed. Each fn call must confine its writes to state
@@ -198,7 +260,7 @@ func (e *Engine) Do(n int, fn func(i int)) {
 func (e *Engine) Run(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	e.Do(len(jobs), func(i int) {
-		results[i] = Exec(jobs[i])
+		results[i] = e.Exec(jobs[i])
 	})
 	return results
 }
@@ -211,6 +273,6 @@ func (e *Engine) Run(jobs []Job) []Result {
 // confine its writes to state owned by index i.
 func (e *Engine) RunEach(jobs []Job, consume func(i int, r Result)) {
 	e.Do(len(jobs), func(i int) {
-		consume(i, Exec(jobs[i]))
+		consume(i, e.Exec(jobs[i]))
 	})
 }

@@ -1,0 +1,47 @@
+package engine
+
+// Stream executes jobs concurrently and delivers their results on the
+// returned channel in submission order: the i-th receive is the outcome
+// of jobs[i] no matter which worker finished first. Rows of a long
+// sweep can therefore render as the completed prefix grows instead of
+// after the whole matrix barriers — the channel-based variant of Run.
+//
+// The channel is closed after the last result. Workers never block on a
+// slow consumer (completions buffer internally), so the caller may
+// receive at any pace; the flip side is that an out-of-order completed
+// shard is pinned until the prefix before it drains. For big-heap
+// matrices where that footprint matters, extract-and-drop with RunEach
+// instead (the results package's Local backend does exactly that).
+func (e *Engine) Stream(jobs []Job) <-chan Result {
+	out := make(chan Result)
+	type finished struct {
+		i int
+		r Result
+	}
+	// Buffered to the matrix size: a worker's send never blocks, so a
+	// stalled consumer cannot wedge the pool (or, transitively, a dist
+	// coordinator draining this stream).
+	fin := make(chan finished, len(jobs))
+	go func() {
+		e.RunEach(jobs, func(i int, r Result) { fin <- finished{i, r} })
+		close(fin)
+	}()
+	go func() {
+		defer close(out)
+		pending := make(map[int]Result)
+		next := 0
+		for f := range fin {
+			pending[f.i] = f.r
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- r
+				next++
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// panicWorkload is registered once for the whole test process: a
+// workload that allocates a few objects and then panics mid-stream,
+// exercising the failure path of Stream and (transitively) the dist
+// coordinator. Keyed off size: size 1 panics, size 2 completes.
+const panicWorkload = "panicky"
+
+func init() {
+	workload.Register(workload.Spec{
+		Name:      panicWorkload,
+		Desc:      "panics mid-stream (test fixture)",
+		Threads:   func(int) int { return 1 },
+		HeapBytes: func(int) int { return 1 << 20 },
+		Run: func(rt *vm.Runtime, size int) {
+			cls := rt.Heap.DefineClass(heap.Class{Name: "panicky.Obj", Data: 8})
+			th := rt.NewThread(1)
+			th.CallVoid(1, func(f *vm.Frame) {
+				f.MustNew(cls)
+				if size == 1 {
+					panic("synthetic mid-stream failure")
+				}
+			})
+		},
+	})
+}
+
+func TestStreamDeliversInSubmissionOrder(t *testing.T) {
+	jobs := []Job{
+		{Workload: "compress", Size: 1, Collector: "cg"},
+		{Workload: "db", Size: 1, Collector: "cg"},
+		{Workload: "jess", Size: 1, Collector: "msa"},
+		{Workload: "raytrace", Size: 1, Collector: "cg"},
+	}
+	i := 0
+	for r := range New(4).Stream(jobs) {
+		if r.Job.Workload != jobs[i].Workload {
+			t.Fatalf("receive %d is %s, want %s", i, r.Job.Workload, jobs[i].Workload)
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		i++
+	}
+	if i != len(jobs) {
+		t.Fatalf("stream delivered %d results, want %d", i, len(jobs))
+	}
+}
+
+// TestStreamSurvivesPanickingWorkload is the engine half of the failure
+// contract: a job whose workload panics mid-stream must yield its slot
+// as an error, and every other slot must still arrive — the stream
+// closes instead of wedging.
+func TestStreamSurvivesPanickingWorkload(t *testing.T) {
+	jobs := []Job{
+		{Workload: "compress", Size: 1, Collector: "cg"},
+		{Workload: panicWorkload, Size: 1, Collector: "cg"},
+		{Workload: "db", Size: 1, Collector: "cg"},
+		{Workload: panicWorkload, Size: 2, Collector: "cg"},
+	}
+	done := make(chan []Result, 1)
+	go func() {
+		var got []Result
+		for r := range New(4).Stream(jobs) {
+			got = append(got, r)
+		}
+		done <- got
+	}()
+	var got []Result
+	select {
+	case got = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream wedged on a panicking workload")
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("stream delivered %d results, want %d", len(got), len(jobs))
+	}
+	if got[1].Err == nil || !strings.Contains(got[1].Err.Error(), "panicked") {
+		t.Fatalf("panicking cell yielded %v, want a panic error", got[1].Err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if got[i].Err != nil {
+			t.Fatalf("healthy cell %d errored: %v", i, got[i].Err)
+		}
+	}
+}
+
+func TestStreamConsumerMayLag(t *testing.T) {
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Workload: "compress", Size: 1, Collector: "cg", HeapBytes: 1 << 20}
+	}
+	ch := New(4).Stream(jobs)
+	time.Sleep(50 * time.Millisecond) // let every worker finish first
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != len(jobs) {
+		t.Fatalf("lagging consumer got %d results, want %d", n, len(jobs))
+	}
+}
+
+func TestHeapBudgetThrottlesAdmission(t *testing.T) {
+	// Cap = 1.5 shards: at most one 1 MiB shard may be in flight at a
+	// time, so concurrency observed inside acquire/release never
+	// exceeds 1 even on an 8-worker pool.
+	const shard = 1 << 20
+	b := newHeapBudget(shard * 3 / 2)
+	var cur, peak int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				b.acquire(shard)
+				if c := atomic.AddInt64(&cur, 1); c > atomic.LoadInt64(&peak) {
+					atomic.StoreInt64(&peak, c)
+				}
+				atomic.AddInt64(&cur, -1)
+				b.release(shard)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("budget deadlocked")
+	}
+	if p := atomic.LoadInt64(&peak); p > 1 {
+		t.Fatalf("budget admitted %d concurrent shards under a 1.5-shard cap", p)
+	}
+}
+
+func TestHeapBudgetAdmitsOversizedJobAlone(t *testing.T) {
+	eng := New(4).SetMaxHeapBytes(1 << 20) // cap far below the 512 MiB default arena
+	done := make(chan Result, 1)
+	go func() { done <- eng.Exec(Job{Workload: "compress", Size: 1, Collector: "cg"}) }()
+	select {
+	case r := <-done:
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("oversized job deadlocked instead of running alone")
+	}
+}
+
+func TestEngineRunUnderMemoryCap(t *testing.T) {
+	jobs := []Job{
+		{Workload: "compress", Size: 1, Collector: "cg"},
+		{Workload: "db", Size: 1, Collector: "cg"},
+		{Workload: "jess", Size: 1, Collector: "cg"},
+	}
+	capped := New(4).SetMaxHeapBytes(engineCapForTest()).Run(jobs)
+	free := New(1).Run(jobs)
+	for i := range jobs {
+		if capped[i].Err != nil || free[i].Err != nil {
+			t.Fatalf("cell %d errored: %v / %v", i, capped[i].Err, free[i].Err)
+		}
+		if capped[i].RT.Instr() != free[i].RT.Instr() {
+			t.Fatalf("cell %d diverged under the memory cap", i)
+		}
+	}
+}
+
+// engineCapForTest admits exactly one demographics arena at a time.
+func engineCapForTest() int64 { return DemographicsArena + DemographicsArena/2 }
+
+func TestParseByteSize(t *testing.T) {
+	good := map[string]int64{
+		"0":      0,
+		"1024":   1024,
+		"512KiB": 512 << 10,
+		"512K":   512 << 10,
+		"3MiB":   3 << 20,
+		"2GiB":   2 << 30,
+		" 2G ":   2 << 30,
+	}
+	for in, want := range good {
+		got, err := ParseByteSize(in)
+		if err != nil {
+			t.Fatalf("ParseByteSize(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseByteSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "1.5GiB", "10TiB", "9999999999G"} {
+		if _, err := ParseByteSize(bad); err == nil {
+			t.Fatalf("ParseByteSize(%q) must error", bad)
+		}
+	}
+}

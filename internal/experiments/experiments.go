@@ -61,61 +61,16 @@ func RunDemographics(eng *engine.Engine, jobs []engine.Job) ([]Cell, error) {
 	return cells, nil
 }
 
-// demographics is the Fig* shorthand: one plenty-of-storage cell per
-// benchmark under one collector spec. The figure matrix has no
-// legitimate failure mode, so an error is a harness bug and panics.
-func demographics(eng *engine.Engine, specs []workload.Spec, size int, collector string, gcEvery uint64) []Cell {
-	jobs := make([]engine.Job, len(specs))
-	for i, s := range specs {
-		jobs[i] = engine.Job{Workload: s.Name, Size: size, Collector: collector, GCEvery: gcEvery}
-	}
-	cells, err := RunDemographics(eng, jobs)
-	if err != nil {
-		panic(err)
-	}
-	return cells
-}
-
 // Fig41 reproduces Figure 4.1: per benchmark, objects created and the
 // percentage collectable without and with the §3.4 optimization (size 1).
 func Fig41(eng *engine.Engine) *table.Table {
-	t := table.New("Fig 4.1: percentage of objects collectable, without and with the static optimization (size 1)",
-		"benchmark", "description", "objects created", "no opt", "with opt")
-	specs := workload.All()
-	// One 2N-job submission, not two N-job barriers: both collector
-	// sweeps share the pool, so no worker idles between them.
-	jobs := make([]engine.Job, 0, 2*len(specs))
-	for _, s := range specs {
-		jobs = append(jobs,
-			engine.Job{Workload: s.Name, Size: 1, Collector: "cg+noopt"},
-			engine.Job{Workload: s.Name, Size: 1, Collector: "cg"})
-	}
-	cells, err := RunDemographics(eng, jobs)
-	if err != nil {
-		panic(err)
-	}
-	for i, s := range specs {
-		bn, bw := cells[2*i].B, cells[2*i+1].B
-		t.Rowf(s.Name, s.Desc, bw.Created,
-			stats.Pct(bn.Popped, bn.Created), stats.Pct(bw.Popped, bw.Created))
-	}
-	return t
+	return renderFig(eng, fig41Data(workload.All()))
 }
 
 // Fig42_44 reproduces Figures 4.2 (size 1), 4.3 (size 10) and 4.4
 // (size 100): the static and thread-shared percentages per benchmark.
 func Fig42_44(eng *engine.Engine, size int) *table.Table {
-	t := table.New(fmt.Sprintf("Fig 4.%d: objects treated as static and as thread-shared (size %d)", figFromSize(size),
-		size),
-		"benchmark", "created", "collectable", "static", "thread-shared")
-	specs := workload.All()
-	cells := demographics(eng, specs, size, "cg", 0)
-	for i, s := range specs {
-		b := cells[i].B
-		t.Rowf(s.Name, b.Created, stats.Pct(b.Popped, b.Created),
-			stats.Pct(b.Static, b.Created), stats.Pct(b.Thread, b.Created))
-	}
-	return t
+	return renderFig(eng, fig42_44Data(workload.All(), size))
 }
 
 func figFromSize(size int) int {
@@ -133,78 +88,32 @@ func figFromSize(size int) int {
 // at collection time, plus the percentage of objects that were collected
 // exactly (singleton blocks).
 func Fig45(eng *engine.Engine) *table.Table {
-	t := table.New("Fig 4.5: distribution of collected block sizes (size 1)",
-		"benchmark", "total collectable", "1", "2", "3", "4", "5", "6-10", ">10", "percent exact")
-	specs := workload.All()
-	cells := demographics(eng, specs, 1, "cg", 0)
-	for i, s := range specs {
-		st, b := cells[i].St, cells[i].B
-		t.Rowf(s.Name, b.Popped,
-			st.BlockSize[0], st.BlockSize[1], st.BlockSize[2], st.BlockSize[3],
-			st.BlockSize[4], st.BlockSize[5], st.BlockSize[6],
-			stats.Pct(st.Singleton, b.Created))
-	}
-	return t
+	return renderFig(eng, fig45Data(workload.All()))
 }
 
 // Fig46 reproduces Figure 4.6: the age at death (frame distance from
 // birth to collection) of CG-collected objects.
 func Fig46(eng *engine.Engine) *table.Table {
-	t := table.New("Fig 4.6: age at death of collected objects, in frame distance (size 1)",
-		"benchmark", "0", "1", "2", "3", "4", "5", ">5")
-	specs := workload.All()
-	cells := demographics(eng, specs, 1, "cg", 0)
-	for i, s := range specs {
-		st := cells[i].St
-		t.Rowf(s.Name,
-			st.AgeAtDeath[0], st.AgeAtDeath[1], st.AgeAtDeath[2], st.AgeAtDeath[3],
-			st.AgeAtDeath[4], st.AgeAtDeath[5], st.AgeAtDeath[6])
-	}
-	return t
+	return renderFig(eng, fig46Data(workload.All()))
 }
 
 // Fig49 reproduces Figure 4.9: the large (size 100) runs — objects
 // created, percentage collectable with the optimization, and percentage
 // exactly collectable.
 func Fig49(eng *engine.Engine) *table.Table {
-	t := table.New("Fig 4.9: SPEC benchmarks, large runs (size 100)",
-		"benchmark", "objects created", "collectable (with opt)", "exactly collectable")
-	specs := workload.All()
-	cells := demographics(eng, specs, 100, "cg", 0)
-	for i, s := range specs {
-		b, st := cells[i].B, cells[i].St
-		t.Rowf(s.Name, b.Created, stats.Pct(b.Popped, b.Created), stats.Pct(st.Singleton, b.Created))
-	}
-	return t
+	return renderFig(eng, fig49Data(workload.All()))
 }
 
 // FigA1 reproduces Figure A.1: of the objects treated as static, the
 // percentage demoted because of sharing among threads.
 func FigA1(eng *engine.Engine) *table.Table {
-	t := table.New("Fig A.1: static objects due to sharing among threads (size 1)",
-		"benchmark", "total static+thread", "percent due to threads")
-	specs := workload.All()
-	cells := demographics(eng, specs, 1, "cg", 0)
-	for i, s := range specs {
-		b := cells[i].B
-		immortal := b.Static + b.Thread
-		t.Rowf(s.Name, immortal, stats.Pct(b.Thread, immortal))
-	}
-	return t
+	return renderFig(eng, figA1Data(workload.All()))
 }
 
 // FigA2_4 reproduces Figures A.2 (small), A.3 (medium) and A.4 (large):
 // the absolute object breakdown into popped / static / thread.
 func FigA2_4(eng *engine.Engine, size int) *table.Table {
-	t := table.New(fmt.Sprintf("Fig A.%d: object breakdown (size %d)", figFromSize(size), size),
-		"benchmark", "popped", "static", "thread")
-	specs := workload.All()
-	cells := demographics(eng, specs, size, "cg", 0)
-	for i, s := range specs {
-		b := cells[i].B
-		t.Rowf(s.Name, b.Popped, b.Static, b.Thread)
-	}
-	return t
+	return renderFig(eng, figA2_4Data(workload.All(), size))
 }
 
 // resetGCEvery is the forced-collection period for the §4.7 resetting
@@ -218,15 +127,7 @@ const resetGCEvery = 1200
 // traditional collections — objects collected by MSA, objects found less
 // live than CG believed, and the number of GC cycles.
 func Fig411(eng *engine.Engine) *table.Table {
-	t := table.New(fmt.Sprintf("Fig 4.11: resetting results, small runs (MSA forced every %d operations)", resetGCEvery),
-		"benchmark", "collected by MSA", "less live", "moved from static", "GC cycles")
-	specs := workload.All()
-	cells := demographics(eng, specs, 1, "cg+reset", resetGCEvery)
-	for i, s := range specs {
-		st := cells[i].St
-		t.Rowf(s.Name, st.MSAFreed, st.LessLive, st.FromStatic, cells[i].GC)
-	}
-	return t
+	return renderFig(eng, fig411Data(workload.All()))
 }
 
 // Fig413 reproduces Figure 4.13: the number of objects recycled (§3.7)

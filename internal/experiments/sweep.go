@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/results"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// SweepFig describes one cell-based (demographics) figure as data: the
+// jobs of its matrix slice, grouped CellsPerRow cells per table row,
+// and the pure function mapping a row's cells to its rendered values.
+// One description drives both execution paths — the batch Fig*
+// functions (cgbench: measure-then-render tables) and Sweep (cgsweep:
+// streamed rows over any results.Backend) — so the figure's semantics
+// cannot drift between the in-process and distributed pipelines.
+// Wall-clock figures are not SweepFigs: their cells are re-run
+// repeatedly with per-benchmark control flow, which is exactly what a
+// serialisable cell is not.
+type SweepFig struct {
+	ID          string
+	Title       string
+	Headers     []string
+	Jobs        []engine.Job
+	CellsPerRow int
+	Row         func(row int, cells []Cell) []any
+}
+
+// Rows reports the figure's data-row count.
+func (f SweepFig) Rows() int { return len(f.Jobs) / f.CellsPerRow }
+
+// DemographicFigs returns the sweepable figures — every id for no
+// arguments, else the named subset — in the thesis's presentation
+// order.
+func DemographicFigs(ids ...string) ([]SweepFig, error) {
+	specs := workload.All()
+	all := []SweepFig{
+		fig41Data(specs),
+		fig42_44Data(specs, 1),
+		fig42_44Data(specs, 10),
+		fig42_44Data(specs, 100),
+		fig45Data(specs),
+		fig46Data(specs),
+		fig49Data(specs),
+		fig411Data(specs),
+		figA1Data(specs),
+		figA2_4Data(specs, 1),
+		figA2_4Data(specs, 10),
+		figA2_4Data(specs, 100),
+	}
+	if len(ids) == 0 {
+		return all, nil
+	}
+	byID := make(map[string]SweepFig, len(all))
+	for _, f := range all {
+		byID[f.ID] = f
+	}
+	out := make([]SweepFig, 0, len(ids))
+	for _, id := range ids {
+		f, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no sweepable figure %q (have %s)", id, figIDs(all))
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func figIDs(figs []SweepFig) string {
+	s := ""
+	for i, f := range figs {
+		if i > 0 {
+			s += ", "
+		}
+		s += f.ID
+	}
+	return s
+}
+
+// CellFromOutcome converts a serialised cell back to the demographics
+// extract the figure renderers consume.
+func CellFromOutcome(o results.Outcome) (Cell, error) {
+	if err := o.Failed(); err != nil {
+		return Cell{}, err
+	}
+	if o.Payload.CG == nil {
+		return Cell{}, fmt.Errorf("experiments: %q is not the contaminated collector", o.Job.Collector)
+	}
+	return Cell{B: o.Payload.CG.Breakdown, St: o.Payload.CG.Stats, GC: o.GCCycles}, nil
+}
+
+// Sweep renders figs through b, streaming each figure's rows to w the
+// moment their cells complete instead of barriering on the full
+// matrix. Output is deterministic for any backend configuration —
+// b emits outcomes in submission order (the Backend contract), row
+// values are pure functions of cells, and the sink's columns are sized
+// from the headers alone — so `-procs 4` against worker processes and
+// an in-process `-workers 1` run render byte-identical bytes, and a
+// resumed sweep renders the same bytes it would have cold.
+func Sweep(b results.Backend, figs []SweepFig, w io.Writer) error {
+	for fi, f := range figs {
+		if fi > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		sink := results.NewSink(w, f.Title, f.Rows(), f.Headers...)
+		cells := make([]Cell, len(f.Jobs))
+		got := make([]int, f.Rows())
+		var cellErr error
+		err := b.Run(f.Jobs, func(i int, o results.Outcome) {
+			if cellErr != nil {
+				return
+			}
+			c, err := CellFromOutcome(o)
+			if err != nil {
+				cellErr = err
+				return
+			}
+			cells[i] = c
+			row := i / f.CellsPerRow
+			got[row]++
+			if got[row] == f.CellsPerRow {
+				sink.Row(row, f.Row(row, cells[row*f.CellsPerRow:(row+1)*f.CellsPerRow])...)
+			}
+		})
+		if err == nil {
+			err = cellErr
+		}
+		if err == nil {
+			err = sink.Flush()
+		}
+		if err != nil {
+			return fmt.Errorf("sweep %s: %w", f.ID, err)
+		}
+	}
+	return nil
+}
+
+// renderFig is the batch path behind the Fig* functions: run the
+// figure's cells on eng, then render the classic measured-width table.
+// The figure matrix has no legitimate failure mode, so an error is a
+// harness bug and panics (as the Fig* API always has).
+func renderFig(eng *engine.Engine, f SweepFig) *table.Table {
+	cells, err := RunDemographics(eng, f.Jobs)
+	if err != nil {
+		panic(err)
+	}
+	t := table.New(f.Title, f.Headers...)
+	for row := 0; row < f.Rows(); row++ {
+		t.Rowf(f.Row(row, cells[row*f.CellsPerRow:(row+1)*f.CellsPerRow])...)
+	}
+	return t
+}
+
+// perBenchmark builds the one-plenty-of-storage-cell-per-benchmark job
+// list shared by most demographics figures.
+func perBenchmark(specs []workload.Spec, size int, collector string, gcEvery uint64) []engine.Job {
+	jobs := make([]engine.Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = engine.Job{Workload: s.Name, Size: size, Collector: collector, GCEvery: gcEvery}
+	}
+	return jobs
+}
+
+func fig41Data(specs []workload.Spec) SweepFig {
+	// One interleaved 2N-cell matrix, not two N-cell barriers: both
+	// collector sweeps share whatever pool runs them.
+	jobs := make([]engine.Job, 0, 2*len(specs))
+	for _, s := range specs {
+		jobs = append(jobs,
+			engine.Job{Workload: s.Name, Size: 1, Collector: "cg+noopt"},
+			engine.Job{Workload: s.Name, Size: 1, Collector: "cg"})
+	}
+	return SweepFig{
+		ID:          "4.1",
+		Title:       "Fig 4.1: percentage of objects collectable, without and with the static optimization (size 1)",
+		Headers:     []string{"benchmark", "description", "objects created", "no opt", "with opt"},
+		Jobs:        jobs,
+		CellsPerRow: 2,
+		Row: func(row int, cells []Cell) []any {
+			s := specs[row]
+			bn, bw := cells[0].B, cells[1].B
+			return []any{s.Name, s.Desc, bw.Created,
+				stats.Pct(bn.Popped, bn.Created), stats.Pct(bw.Popped, bw.Created)}
+		},
+	}
+}
+
+func fig42_44Data(specs []workload.Spec, size int) SweepFig {
+	return SweepFig{
+		ID: fmt.Sprintf("4.%d", figFromSize(size)),
+		Title: fmt.Sprintf("Fig 4.%d: objects treated as static and as thread-shared (size %d)",
+			figFromSize(size), size),
+		Headers:     []string{"benchmark", "created", "collectable", "static", "thread-shared"},
+		Jobs:        perBenchmark(specs, size, "cg", 0),
+		CellsPerRow: 1,
+		Row: func(row int, cells []Cell) []any {
+			b := cells[0].B
+			return []any{specs[row].Name, b.Created, stats.Pct(b.Popped, b.Created),
+				stats.Pct(b.Static, b.Created), stats.Pct(b.Thread, b.Created)}
+		},
+	}
+}
+
+func fig45Data(specs []workload.Spec) SweepFig {
+	return SweepFig{
+		ID:    "4.5",
+		Title: "Fig 4.5: distribution of collected block sizes (size 1)",
+		Headers: []string{"benchmark", "total collectable",
+			"1", "2", "3", "4", "5", "6-10", ">10", "percent exact"},
+		Jobs:        perBenchmark(specs, 1, "cg", 0),
+		CellsPerRow: 1,
+		Row: func(row int, cells []Cell) []any {
+			st, b := cells[0].St, cells[0].B
+			return []any{specs[row].Name, b.Popped,
+				st.BlockSize[0], st.BlockSize[1], st.BlockSize[2], st.BlockSize[3],
+				st.BlockSize[4], st.BlockSize[5], st.BlockSize[6],
+				stats.Pct(st.Singleton, b.Created)}
+		},
+	}
+}
+
+func fig46Data(specs []workload.Spec) SweepFig {
+	return SweepFig{
+		ID:          "4.6",
+		Title:       "Fig 4.6: age at death of collected objects, in frame distance (size 1)",
+		Headers:     []string{"benchmark", "0", "1", "2", "3", "4", "5", ">5"},
+		Jobs:        perBenchmark(specs, 1, "cg", 0),
+		CellsPerRow: 1,
+		Row: func(row int, cells []Cell) []any {
+			st := cells[0].St
+			return []any{specs[row].Name,
+				st.AgeAtDeath[0], st.AgeAtDeath[1], st.AgeAtDeath[2], st.AgeAtDeath[3],
+				st.AgeAtDeath[4], st.AgeAtDeath[5], st.AgeAtDeath[6]}
+		},
+	}
+}
+
+func fig49Data(specs []workload.Spec) SweepFig {
+	return SweepFig{
+		ID:          "4.9",
+		Title:       "Fig 4.9: SPEC benchmarks, large runs (size 100)",
+		Headers:     []string{"benchmark", "objects created", "collectable (with opt)", "exactly collectable"},
+		Jobs:        perBenchmark(specs, 100, "cg", 0),
+		CellsPerRow: 1,
+		Row: func(row int, cells []Cell) []any {
+			b, st := cells[0].B, cells[0].St
+			return []any{specs[row].Name, b.Created,
+				stats.Pct(b.Popped, b.Created), stats.Pct(st.Singleton, b.Created)}
+		},
+	}
+}
+
+func fig411Data(specs []workload.Spec) SweepFig {
+	return SweepFig{
+		ID: "4.11",
+		Title: fmt.Sprintf("Fig 4.11: resetting results, small runs (MSA forced every %d operations)",
+			resetGCEvery),
+		Headers:     []string{"benchmark", "collected by MSA", "less live", "moved from static", "GC cycles"},
+		Jobs:        perBenchmark(specs, 1, "cg+reset", resetGCEvery),
+		CellsPerRow: 1,
+		Row: func(row int, cells []Cell) []any {
+			st := cells[0].St
+			return []any{specs[row].Name, st.MSAFreed, st.LessLive, st.FromStatic, cells[0].GC}
+		},
+	}
+}
+
+func figA1Data(specs []workload.Spec) SweepFig {
+	return SweepFig{
+		ID:          "A.1",
+		Title:       "Fig A.1: static objects due to sharing among threads (size 1)",
+		Headers:     []string{"benchmark", "total static+thread", "percent due to threads"},
+		Jobs:        perBenchmark(specs, 1, "cg", 0),
+		CellsPerRow: 1,
+		Row: func(row int, cells []Cell) []any {
+			b := cells[0].B
+			immortal := b.Static + b.Thread
+			return []any{specs[row].Name, immortal, stats.Pct(b.Thread, immortal)}
+		},
+	}
+}
+
+func figA2_4Data(specs []workload.Spec, size int) SweepFig {
+	return SweepFig{
+		ID:          fmt.Sprintf("A.%d", figFromSize(size)),
+		Title:       fmt.Sprintf("Fig A.%d: object breakdown (size %d)", figFromSize(size), size),
+		Headers:     []string{"benchmark", "popped", "static", "thread"},
+		Jobs:        perBenchmark(specs, size, "cg", 0),
+		CellsPerRow: 1,
+		Row: func(row int, cells []Cell) []any {
+			b := cells[0].B
+			return []any{specs[row].Name, b.Popped, b.Static, b.Thread}
+		},
+	}
+}

@@ -1,0 +1,125 @@
+package results
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/table"
+)
+
+// Sink renders one figure's table incrementally: the title, header row
+// and rule print at construction, and each data row prints the moment
+// the in-order prefix reaches it — a long sweep shows its first rows
+// while later cells are still running, instead of barriering on the
+// whole matrix.
+//
+// Streaming forecloses the batch table's measure-then-render pass, so
+// columns are sized from the headers alone and a wider cell simply
+// widens its own row. What it preserves is determinism: cell text comes
+// from the same table.Format the batch path uses, and rows are emitted
+// by index, so sweep output is byte-identical for any worker count,
+// process count or store state.
+//
+// Rows may arrive from any goroutine and in any order; out-of-order
+// rows buffer until the prefix completes. Write errors stick and
+// surface from Flush.
+type Sink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	widths  []int
+	pending map[int][]string
+	next    int
+	rows    int
+	err     error
+}
+
+// NewSink writes the title, header and rule immediately and returns the
+// row sink. rows is the number of data rows the figure will emit;
+// Flush reports any shortfall.
+func NewSink(w io.Writer, title string, rows int, headers ...string) *Sink {
+	s := &Sink{w: w, pending: make(map[int][]string), rows: rows}
+	s.widths = make([]int, len(headers))
+	for i, h := range headers {
+		s.widths[i] = len(h)
+	}
+	if title != "" {
+		s.printf("%s\n", title)
+	}
+	s.writeRow(headers)
+	total := 0
+	for i, wd := range s.widths {
+		if i > 0 {
+			total += 2
+		}
+		total += wd
+	}
+	s.printf("%s\n", strings.Repeat("-", total))
+	return s
+}
+
+// Row submits data row i (0-based). Safe for concurrent use; rows print
+// in index order as the prefix completes.
+func (s *Sink) Row(i int, cells ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.pending[i]; dup || i < s.next {
+		return // first submission wins, matching the reorder contract
+	}
+	s.pending[i] = table.Format(cells...)
+	for {
+		row, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		s.writeRow(row)
+	}
+}
+
+// Flush verifies every row arrived and returns the first write error.
+func (s *Sink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.next != s.rows {
+		return fmt.Errorf("results: sink flushed with %d of %d rows", s.next, s.rows)
+	}
+	return nil
+}
+
+// writeRow prints one row under the header-derived widths. Like the
+// batch table, every column — including the last — pads to width, so
+// narrow cells align and wide cells overflow only their own row.
+func (s *Sink) writeRow(cells []string) {
+	var b strings.Builder
+	for i := 0; i < len(s.widths) || i < len(cells); i++ {
+		c := ""
+		if i < len(cells) {
+			c = cells[i]
+		}
+		wd := 0
+		if i < len(s.widths) {
+			wd = s.widths[i]
+		}
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", wd, c)
+	}
+	b.WriteString("\n")
+	s.printf("%s", b.String())
+}
+
+func (s *Sink) printf(format string, args ...any) {
+	if s.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(s.w, format, args...); err != nil {
+		s.err = err
+	}
+}

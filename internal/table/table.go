@@ -28,6 +28,14 @@ func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
 // Rowf appends a row of formatted values: strings pass through, integers
 // and floats get default formatting.
 func (t *Table) Rowf(cells ...any) {
+	t.Row(Format(cells...)...)
+}
+
+// Format renders Rowf-style values to cell strings: strings pass
+// through, floats get two decimals, everything else default formatting.
+// The streaming results sink shares it so streamed rows and batch tables
+// print identical cell text.
+func Format(cells ...any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -39,7 +47,7 @@ func (t *Table) Rowf(cells ...any) {
 			row[i] = fmt.Sprint(v)
 		}
 	}
-	t.Row(row...)
+	return row
 }
 
 // Note appends a footnote line printed under the table.

@@ -103,14 +103,21 @@ func Names() []string {
 	return out
 }
 
-// newRNG returns the deterministic per-workload generator; every run of
-// a (workload, size) pair replays the identical event stream.
-func newRNG(name string, size int) *rand.Rand {
+// Seed is the deterministic RNG seed of a (workload, size) pair: every
+// run replays the identical event stream. It is part of a cell's
+// identity — the results store keys on it, so a change to the seeding
+// scheme invalidates stored cells instead of silently mixing streams.
+func Seed(name string, size int) int64 {
 	seed := int64(size)
 	for _, c := range name {
 		seed = seed*131 + int64(c)
 	}
-	return rand.New(rand.NewSource(seed))
+	return seed
+}
+
+// newRNG returns the deterministic per-workload generator.
+func newRNG(name string, size int) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(name, size)))
 }
 
 // single returns a Threads function for single-threaded analogs.
