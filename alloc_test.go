@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/collectors"
+)
+
+// steadySpecs is every registered collector configuration the alloc
+// regression gate runs under. The hot-path budget (§3.5: collector
+// bookkeeping costs a few machine ops per event) implies zero Go-heap
+// traffic per event once tables are warm; a new collector variant that
+// allocates per PutField shows up here, not in a profile weeks later.
+var steadySpecs = []string{
+	"cg", "cg+noopt", "cg+recycle", "cg+typed", "cg+reset",
+	"cg+packed", "msa", "gen", "none",
+}
+
+// TestSteadyStateEventAllocs pins PutField / GetField / Call (and the
+// operand-rooting they imply) at zero allocations per op in steady
+// state, under every collector.
+func TestSteadyStateEventAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful unraced")
+	}
+	for _, spec := range steadySpecs {
+		t.Run(spec, func(t *testing.T) {
+			col, err := collectors.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := NewHeap(1 << 20)
+			cls := h.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+			rt := NewRuntime(h, col)
+			th := rt.NewThread(2)
+			f := th.Top()
+			a, b := f.MustNew(cls), f.MustNew(cls)
+			f.SetLocal(0, a)
+			f.SetLocal(1, b)
+			callee := func(inner *Frame) { inner.SetLocal(0, a) }
+			step := func() {
+				f.PutField(a, 0, b)
+				_ = f.GetField(a, 0)
+				th.CallVoid(1, callee)
+			}
+			step() // warm: first contamination, frame pool, operand ring
+			if n := testing.AllocsPerRun(200, step); n != 0 {
+				t.Fatalf("steady-state PutField/GetField/Call allocates %v objects/op under %s", n, spec)
+			}
+		})
+	}
+}
+
+// TestSteadyStateChurnAllocs pins the allocate-and-die loop — the §3.7
+// recycling path and the slab heap's extent reuse — at zero Go
+// allocations per op: a dead handle's slab extent and ID are recycled,
+// so object churn in a warm runtime never touches the Go allocator.
+func TestSteadyStateChurnAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful unraced")
+	}
+	for _, spec := range []string{"cg", "cg+recycle", "cg+typed"} {
+		t.Run(spec, func(t *testing.T) {
+			col, err := collectors.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := NewHeap(1 << 20)
+			cls := h.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+			rt := NewRuntime(h, col)
+			th := rt.NewThread(0)
+			churn := func(inner *Frame) { inner.SetLocal(0, inner.MustNew(cls)) }
+			for i := 0; i < 64; i++ { // warm handle table, free lists, recycle lists
+				th.CallVoid(1, churn)
+			}
+			if n := testing.AllocsPerRun(200, func() { th.CallVoid(1, churn) }); n != 0 {
+				t.Fatalf("steady-state alloc/free churn allocates %v objects/op under %s", n, spec)
+			}
+		})
+	}
+}

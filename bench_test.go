@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"strconv"
 	"testing"
 
 	"repro/internal/collectors"
@@ -137,7 +138,7 @@ func BenchmarkWorkload(b *testing.B) {
 				b.Fatal(err)
 			}
 			for _, size := range []int{1, 10} {
-				b.Run(spec.Name+"/"+name+"/size"+itoa(size), func(b *testing.B) {
+				b.Run(spec.Name+"/"+name+"/size"+strconv.Itoa(size), func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						rt := NewRuntime(NewHeap(spec.HeapBytes(size)), mk())
@@ -233,18 +234,11 @@ func BenchmarkResettingAblation(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rt := NewRuntime(NewHeap(64<<20), core.New(core.Config{StaticOpt: true, ResetOnGC: reset}))
-				rt.GCEvery = 5000
+				rt.SetGCEvery(5000)
 				spec.Run(rt, 1)
 			}
 		})
 	}
-}
-
-func itoa(n int) string {
-	if n == 1 {
-		return "1"
-	}
-	return "10"
 }
 
 // TestFacadeQuickstart exercises the package-level API end to end (the

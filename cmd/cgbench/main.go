@@ -13,15 +13,36 @@
 //
 // Demographics tables are byte-identical for any -workers value; only
 // the wall-clock figures (4.7, 4.8, 4.10, 4.12, A.5-A.7) vary.
+//
+// -bench switches cgbench into micro-benchmark mode: it times one run
+// of every workload analog under every collector with
+// testing.Benchmark and writes a machine-readable JSON report
+// (internal/benchfmt) instead of rendering figures. BENCH_seed.json at
+// the repo root is such a report, recorded from the pre-slab hot path;
+// -baseline diffs a fresh run against it and warns — never fails — on
+// regressions past -warn-pct:
+//
+//	cgbench -bench BENCH.json                          # record
+//	cgbench -bench /tmp/b.json -baseline BENCH_seed.json
+//	cgbench -bench /tmp/b.json -bench-sizes 1 -bench-time 100ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
 
+	"repro/internal/benchfmt"
+	"repro/internal/collectors"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/heap"
+	"repro/internal/vm"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -31,7 +52,22 @@ func main() {
 	skipLarge := flag.Bool("skip-large", false, "skip the size-100 sweeps (4.4, 4.9, 4.10 large column, A.4, A.7)")
 	maxHeap := flag.String("max-heap-bytes", "0",
 		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
+	benchOut := flag.String("bench", "", "run the Workload micro-benchmarks and write a JSON report to this path (skips figure rendering)")
+	benchTime := flag.Duration("bench-time", 300*time.Millisecond, "per-benchmark measurement budget for -bench")
+	benchSizes := flag.String("bench-sizes", "1,10", "comma-separated workload sizes for -bench")
+	benchCols := flag.String("bench-collectors", "cg,cg+recycle,msa,gen", "comma-separated collector specs for -bench")
+	baseline := flag.String("baseline", "", "baseline report to compare the -bench run against")
+	warnPct := flag.Float64("warn-pct", 15, "ns/op regression percentage that triggers a warning under -baseline")
+	testing.Init()
 	flag.Parse()
+
+	if *benchOut != "" {
+		if err := runBenchMode(*benchOut, *benchTime, *benchSizes, *benchCols, *baseline, *warnPct); err != nil {
+			fmt.Fprintln(os.Stderr, "cgbench:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	heapCap, err := engine.ParseByteSize(*maxHeap)
 	if err != nil {
@@ -86,4 +122,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cgbench: unknown figure %q\n", *fig)
 		os.Exit(1)
 	}
+}
+
+// runBenchMode times one run of every (workload, collector, size) cell
+// with testing.Benchmark — the same loop body as bench_test.go's
+// BenchmarkWorkload, so the JSON report and `go test -bench Workload`
+// measure the identical thing — writes the report to out, and
+// optionally warns against a baseline. Regressions never fail the run:
+// benchmark noise on shared CI hosts would make a hard gate flaky, so
+// the job surfaces WARN lines and humans (or the PR diff) decide.
+func runBenchMode(out string, benchTime time.Duration, sizesCSV, colsCSV, baseline string, warnPct float64) error {
+	if err := flag.Set("test.benchtime", benchTime.String()); err != nil {
+		return err
+	}
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -bench-sizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	report := benchfmt.NewReport(benchTime)
+	for _, spec := range workload.All() {
+		for _, col := range strings.Split(colsCSV, ",") {
+			col = strings.TrimSpace(col)
+			mk, err := collectors.Parse(col)
+			if err != nil {
+				return err
+			}
+			for _, size := range sizes {
+				spec, size := spec, size
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						rt := vm.New(heap.New(spec.HeapBytes(size)), mk())
+						spec.Run(rt, size)
+					}
+				})
+				name := fmt.Sprintf("Workload/%s/%s/size%d", spec.Name, col, size)
+				report.Add(benchfmt.Entry{
+					Name:        name,
+					Iters:       r.N,
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+				})
+				fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %10d B/op %8d allocs/op\n",
+					name, report.Benchmarks[len(report.Benchmarks)-1].NsPerOp,
+					r.AllocedBytesPerOp(), r.AllocsPerOp())
+			}
+		}
+	}
+	if err := report.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cgbench: wrote %d benchmarks to %s\n", len(report.Benchmarks), out)
+	if baseline == "" {
+		return nil
+	}
+	base, err := benchfmt.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	deltas := benchfmt.Compare(base, report)
+	regs := benchfmt.Regressions(deltas, warnPct)
+	for _, d := range regs {
+		fmt.Fprintf(os.Stderr, "WARN: %s regressed %.1f%% (%.0f -> %.0f ns/op)\n",
+			d.Name, d.Pct, d.Base, d.Cur)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "cgbench: no benchmark regressed more than %.0f%% vs %s (%d compared)\n",
+			warnPct, baseline, len(deltas))
+	}
+	return nil
 }

@@ -1,0 +1,54 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport(300 * time.Millisecond)
+	r.Add(Entry{Name: "Workload/jess/cg/size1", Iters: 100, NsPerOp: 400000, BytesPerOp: 1024, AllocsPerOp: 12})
+	r.Add(Entry{Name: "Workload/jess/msa/size1", Iters: 150, NsPerOp: 250000})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BenchTime != "300ms" || len(got.Benchmarks) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Benchmarks[0] != r.Benchmarks[0] {
+		t.Fatalf("entry mismatch: %+v vs %+v", got.Benchmarks[0], r.Benchmarks[0])
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	base := &Report{Benchmarks: []Entry{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 200},
+		{Name: "gone", NsPerOp: 50},
+	}}
+	cur := &Report{Benchmarks: []Entry{
+		{Name: "a", NsPerOp: 130}, // +30%: regression
+		{Name: "b", NsPerOp: 150}, // -25%: improvement
+		{Name: "new", NsPerOp: 10},
+	}}
+	deltas := Compare(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("Compare matched %d benchmarks, want 2 (unmatched skipped)", len(deltas))
+	}
+	if deltas[0].Name != "a" || deltas[1].Name != "b" {
+		t.Fatalf("deltas not sorted worst-first: %+v", deltas)
+	}
+	regs := Regressions(deltas, 15)
+	if len(regs) != 1 || regs[0].Name != "a" || regs[0].Pct < 29 || regs[0].Pct > 31 {
+		t.Fatalf("Regressions(15%%) = %+v, want just a at +30%%", regs)
+	}
+	if len(Regressions(deltas, 50)) != 0 {
+		t.Fatal("50% threshold should clear everything")
+	}
+}

@@ -140,7 +140,13 @@ type CG struct {
 	rt   *vm.Runtime
 	heap *heap.Heap
 	msa  *msa.Collector
-	uf   unionfind.Forest
+	// Exactly one of dsu/packed is non-nil, selected at construction
+	// (§3.5). Holding the concrete types instead of a unionfind.Forest
+	// keeps the per-event Find/Union direct calls — the interface
+	// dispatch this replaced cost an indirect call per runtime event,
+	// against the thesis's few-machine-ops budget (§3.5).
+	dsu    *unionfind.DSU
+	packed *unionfind.Packed
 
 	meta []objMeta
 	sets []setMeta
@@ -194,9 +200,14 @@ func (c *CG) Attach(rt *vm.Runtime) {
 	c.heap = rt.Heap
 	c.msa = msa.New(rt)
 	if c.cfg.Packed {
-		c.uf = unionfind.NewPacked(0)
+		c.packed = unionfind.NewPacked(0)
 	} else {
-		c.uf = unionfind.NewDSU(0)
+		c.dsu = unionfind.NewDSU(0)
+	}
+	if c.cfg.Checked {
+		// Taint checking reads every access event; the runtime must not
+		// elide dispatch even while single-threaded.
+		rt.ForceAccessEvents()
 	}
 }
 
@@ -206,21 +217,60 @@ func (c *CG) Stats() Stats { return c.stats }
 // MSAStats exposes the embedded traditional collector's counters.
 func (c *CG) MSAStats() msa.Stats { return c.msa.Stats() }
 
-// ensure grows the side tables to cover handle id.
+// ensure grows the side tables to cover handle id. Handle slots are
+// recycled, so in steady state the tables are already big enough and
+// this is one compare; growth is the cold path.
 func (c *CG) ensure(id heap.HandleID) {
 	n := int(id)
-	c.uf.MakeSet(n)
-	for len(c.meta) <= n {
-		c.meta = append(c.meta, objMeta{})
+	if c.packed != nil {
+		c.packed.MakeSet(n)
+	} else {
+		c.dsu.MakeSet(n)
 	}
-	for len(c.sets) <= n {
-		c.sets = append(c.sets, setMeta{})
+	if n >= len(c.meta) {
+		c.grow(n)
 	}
+}
+
+//go:noinline
+func (c *CG) grow(n int) {
+	c.meta = append(c.meta, make([]objMeta, n+1-len(c.meta))...)
+	c.sets = append(c.sets, make([]setMeta, n+1-len(c.sets))...)
 }
 
 // find returns the representative handle of id's equilive set.
 func (c *CG) find(id heap.HandleID) heap.HandleID {
-	return heap.HandleID(c.uf.Find(int(id)))
+	if c.packed != nil {
+		return heap.HandleID(c.packed.Find(int(id)))
+	}
+	return heap.HandleID(c.dsu.Find(int(id)))
+}
+
+// quickSame is the one-pass putfield fast path: conclusively true when
+// a single parent load per endpoint proves x and y equilive, false
+// (meaning "unknown") otherwise.
+func (c *CG) quickSame(x, y heap.HandleID) bool {
+	if c.packed != nil {
+		return c.packed.QuickSame(int(x), int(y))
+	}
+	return c.dsu.QuickSame(int(x), int(y))
+}
+
+// union merges the sets holding rx and ry and returns the merged root.
+func (c *CG) union(rx, ry heap.HandleID) heap.HandleID {
+	if c.packed != nil {
+		return heap.HandleID(c.packed.Union(int(rx), int(ry)))
+	}
+	return heap.HandleID(c.dsu.Union(int(rx), int(ry)))
+}
+
+// resetElem makes id a singleton in the forest (rebuild paths).
+func (c *CG) resetElem(id heap.HandleID) {
+	if c.packed != nil {
+		c.packed.Reset(int(id))
+	} else {
+		c.dsu.Reset(int(id))
+	}
 }
 
 // linkSet pushes set root onto its dependent frame's list (the frame's
@@ -277,7 +327,7 @@ func (c *CG) checkNotTainted(id heap.HandleID, op string) {
 // equilive set dependent on the allocating frame.
 func (c *CG) OnAlloc(id heap.HandleID, f *vm.Frame) {
 	c.ensure(id)
-	c.uf.Reset(int(id))
+	c.resetElem(id)
 	owner := int32(0)
 	if f.Thread != nil {
 		owner = int32(f.Thread.ID)
@@ -311,6 +361,13 @@ func (c *CG) OnRef(src, dst heap.HandleID) {
 // contaminates nothing (the static object cannot become more live, and it
 // holds no reference back to x).
 func (c *CG) contaminate(x, y heap.HandleID) {
+	// Fast path: a raytrace-style loop stores between the same pair of
+	// already-equilive objects thousands of times; one parent load per
+	// endpoint settles those without two full Finds (§3.5's few-ops
+	// budget). Inconclusive answers fall through to the exact check.
+	if c.quickSame(x, y) {
+		return
+	}
 	rx, ry := c.find(x), c.find(y)
 	if rx == ry {
 		return
@@ -322,7 +379,7 @@ func (c *CG) contaminate(x, y heap.HandleID) {
 	sx, sy := c.sets[int(rx)], c.sets[int(ry)]
 	c.unlinkSet(rx)
 	c.unlinkSet(ry)
-	root := heap.HandleID(c.uf.Union(int(rx), int(ry)))
+	root := c.union(rx, ry)
 	// Concatenate membership lists (O(1) via tail pointers).
 	c.meta[int(sx.tail)].next = sy.head
 	c.sets[int(root)] = setMeta{
@@ -543,13 +600,11 @@ func (c *CG) BeginCycle() {
 	// the sweep's accounting sees only MSA-discovered garbage.
 	c.FlushRecycle()
 	// Stamp every live object's current dependent frame, then detach all
-	// sets from all frames: the mark phase rebuilds them.
-	seen := map[*vm.Frame]bool{}
-	c.rt.EachRootFrame(func(f *vm.Frame, _ []heap.HandleID) {
-		if seen[f] {
-			return
-		}
-		seen[f] = true
+	// sets from all frames: the mark phase rebuilds them. EachFrame
+	// visits every frame exactly once, so no per-cycle scratch set is
+	// needed (the map this replaced allocated on every forced GC of the
+	// resetting experiment).
+	c.rt.EachFrame(func(f *vm.Frame) {
 		for root := f.GCHead; root != heap.Nil; root = c.sets[int(root)].next {
 			s := &c.sets[int(root)]
 			for o := s.head; o != heap.Nil; o = c.meta[int(o)].next {
@@ -563,7 +618,7 @@ func (c *CG) BeginCycle() {
 // Reached implements msa.Hooks: a live object becomes a fresh singleton
 // set on its (possibly improved) dependent frame.
 func (c *CG) Reached(id heap.HandleID, f *vm.Frame) {
-	c.uf.Reset(int(id))
+	c.resetElem(id)
 	m := &c.meta[int(id)]
 	m.next = heap.Nil
 	nf := f

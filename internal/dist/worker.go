@@ -48,7 +48,11 @@ func Serve(r io.Reader, w io.Writer, eng *engine.Engine) error {
 		go func() {
 			defer wg.Done()
 			for req := range jobs {
-				o := results.Extract(eng.Exec(req.Job))
+				// ExecRelease recycles the shard as soon as the outcome
+				// is extracted, so back-to-back cells of one sweep reuse
+				// one runtime instead of rebuilding 512 MiB arenas.
+				var o results.Outcome
+				eng.ExecRelease(req.Job, func(r engine.Result) { o = results.Extract(r) })
 				if err := send(response{Type: "result", ID: req.ID, Outcome: &o}); err != nil {
 					errOnce.Do(func() { sendErr = err })
 				}

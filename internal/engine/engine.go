@@ -110,7 +110,13 @@ func ArenaBytes(job Job) (int, error) {
 // per-benchmark control flow (probe runs, budget retry loops) may call
 // it directly. Package-level Exec ignores any engine memory cap; use
 // Engine.Exec for throttled admission.
-func Exec(job Job) (res Result) {
+func Exec(job Job) Result { return exec(job, nil) }
+
+// exec is the shared job body. With a non-nil pool it starts from a
+// Reset pooled shard of the right arena size when one is available; it
+// never returns shards to the pool itself — the caller does, once the
+// Result can no longer escape (see ExecRelease).
+func exec(job Job, pool *shardPool) (res Result) {
 	res.Job = job
 	defer func() {
 		if r := recover(); r != nil {
@@ -139,11 +145,19 @@ func Exec(job Job) (res Result) {
 		reps = 1
 	}
 
+	var rt *vm.Runtime
+	if pool != nil {
+		rt = pool.get(bytes)
+	}
 	start := time.Now()
 	for i := 0; i < reps; i++ {
 		col := factory()
-		rt := vm.New(heap.New(bytes), col)
-		rt.GCEvery = job.GCEvery
+		if rt == nil {
+			rt = vm.New(heap.New(bytes), col)
+		} else {
+			rt.Reset(col)
+		}
+		rt.SetGCEvery(job.GCEvery)
 		spec.Run(rt, job.Size)
 		res.RT, res.Col = rt, col
 	}
@@ -152,11 +166,14 @@ func Exec(job Job) (res Result) {
 }
 
 // Engine is a fixed-size worker pool with an optional aggregate memory
-// cap. The zero value is not usable; construct with New. An Engine
-// holds no per-run state and is safe for concurrent use.
+// cap and a shard pool that recycles runtimes between cells of equal
+// arena size. The zero value is not usable; construct with New. An
+// Engine holds no per-run state beyond the shard pool and is safe for
+// concurrent use.
 type Engine struct {
 	workers int
 	budget  *heapBudget // nil when uncapped
+	pool    *shardPool
 }
 
 // New returns an engine with the given worker count; workers <= 0
@@ -165,7 +182,7 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers}
+	return &Engine{workers: workers, pool: newShardPool(workers)}
 }
 
 // Workers reports the pool size.
@@ -213,6 +230,41 @@ func (e *Engine) Exec(job Job) Result {
 	e.budget.acquire(int64(bytes))
 	defer e.budget.release(int64(bytes))
 	return Exec(job)
+}
+
+// ExecRelease runs one job with admission control, hands the result to
+// consume, and then recycles the job's runtime shard into the engine's
+// pool — so a sweep of equal-arena cells stops paying per-cell heap and
+// runtime construction. The Result, its RT and its Col are only valid
+// until consume returns: extract what the merge needs, drop the rest.
+// A shard that panicked mid-run is discarded, never recycled.
+func (e *Engine) ExecRelease(job Job, consume func(Result)) {
+	var bytes int
+	if e.budget != nil || e.pool != nil {
+		var err error
+		if bytes, err = ArenaBytes(job); err != nil {
+			consume(Result{Job: job, Err: err})
+			return
+		}
+	}
+	if e.budget != nil {
+		e.budget.acquire(int64(bytes))
+		defer e.budget.release(int64(bytes))
+	}
+	// Pooling is disabled under a memory cap: a pooled idle shard keeps
+	// its whole arena and handle table resident while its budget bytes
+	// have been released back to admission, which would let resident
+	// memory exceed the cap by workers x arena. The cap buys memory
+	// honesty at the price of per-cell construction.
+	pool := e.pool
+	if e.budget != nil {
+		pool = nil
+	}
+	r := exec(job, pool)
+	consume(r)
+	if r.Err == nil && r.RT != nil && pool != nil {
+		pool.put(bytes, r.RT)
+	}
 }
 
 // Do runs fn(i) for every i in [0, n) on the pool and returns when all
@@ -267,12 +319,14 @@ func (e *Engine) Run(jobs []Job) []Result {
 
 // RunEach executes jobs concurrently, invoking consume(i, result) on
 // the worker's goroutine as cell i completes, and retains nothing: once
-// consume returns, the shard's runtime is garbage. Peak memory is
-// bounded by the worker count instead of the matrix size — the
-// sequential-loop footprint at -workers 1. Like Do's fn, consume must
-// confine its writes to state owned by index i.
+// consume returns, the shard's runtime is recycled into the engine's
+// pool for the next cell of the same arena size (so consume must not
+// let the Result's RT or Col escape). Peak memory is bounded by the
+// worker count instead of the matrix size — the sequential-loop
+// footprint at -workers 1. Like Do's fn, consume must confine its
+// writes to state owned by index i.
 func (e *Engine) RunEach(jobs []Job, consume func(i int, r Result)) {
 	e.Do(len(jobs), func(i int) {
-		consume(i, e.Exec(jobs[i]))
+		e.ExecRelease(jobs[i], func(r Result) { consume(i, r) })
 	})
 }

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExecReleaseRecyclesShards checks that back-to-back equal-arena
+// cells actually reuse one runtime (the pool is doing something) and
+// that a job of a different arena size never receives it.
+func TestExecReleaseRecyclesShards(t *testing.T) {
+	eng := New(1)
+	job := Job{Workload: "javac", Size: 1, Collector: "cg", HeapBytes: 1 << 24}
+	var first, second *core.CG
+	eng.ExecRelease(job, func(r Result) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		first = r.Col.(*core.CG)
+	})
+	if got := eng.pool.count; got != 1 {
+		t.Fatalf("pool holds %d shards after one release, want 1", got)
+	}
+	var rt1 = eng.pool.bySize[1<<24][0]
+	eng.ExecRelease(job, func(r Result) {
+		if r.RT != rt1 {
+			t.Fatal("equal-arena cell did not reuse the pooled shard")
+		}
+		second = r.Col.(*core.CG)
+	})
+	if first == second {
+		t.Fatal("collector instances must be fresh per cell")
+	}
+	other := job
+	other.HeapBytes = 1 << 23
+	eng.ExecRelease(other, func(r Result) {
+		if r.RT == rt1 {
+			t.Fatal("different-arena cell received a mismatched pooled shard")
+		}
+	})
+}
+
+// TestMemoryCapDisablesPooling pins the cap/pool interaction: with
+// -max-heap-bytes set, idle shards must not stay resident outside the
+// admission budget, so ExecRelease neither fills nor draws from the
+// pool.
+func TestMemoryCapDisablesPooling(t *testing.T) {
+	eng := New(1).SetMaxHeapBytes(1 << 26)
+	job := Job{Workload: "javac", Size: 1, Collector: "cg", HeapBytes: 1 << 24}
+	eng.ExecRelease(job, func(r Result) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	})
+	if got := eng.pool.count; got != 0 {
+		t.Fatalf("capped engine pooled %d shards, want 0", got)
+	}
+}
+
+// TestEnginePooledDeterminism is the Reset-reuse determinism gate: a
+// cell computed on a recycled shard must produce byte-for-byte the
+// statistics a fresh shard produces. The first RunEach pass fills the
+// pool, the second runs entirely on recycled runtimes.
+func TestEnginePooledDeterminism(t *testing.T) {
+	jobs := []Job{
+		{Workload: "jess", Size: 1, Collector: "cg", HeapBytes: 1 << 24},
+		{Workload: "raytrace", Size: 1, Collector: "cg+recycle", HeapBytes: 1 << 22},
+		{Workload: "jack", Size: 1, Collector: "cg+reset", HeapBytes: 1 << 22, GCEvery: 1200},
+		{Workload: "mtrt", Size: 1, Collector: "cg", HeapBytes: 1 << 24},
+	}
+	collect := func(eng *Engine) []core.Stats {
+		out := make([]core.Stats, len(jobs))
+		errs := make([]error, len(jobs))
+		eng.RunEach(jobs, func(i int, r Result) {
+			if r.Err != nil {
+				errs[i] = r.Err
+				return
+			}
+			out[i] = r.Col.(*core.CG).Stats()
+		})
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	eng := New(2)
+	fresh := collect(eng)    // pool empty: fresh shards
+	recycled := collect(eng) // pool warm: recycled shards
+	again := collect(New(2)) // control: a fresh engine
+	for i := range jobs {
+		if fresh[i] != recycled[i] {
+			t.Errorf("job %d: pooled stats %+v != fresh stats %+v", i, recycled[i], fresh[i])
+		}
+		if fresh[i] != again[i] {
+			t.Errorf("job %d: fresh-engine stats differ between engines", i)
+		}
+	}
+}

@@ -21,9 +21,12 @@ func (e *Engine) Stream(jobs []Job) <-chan Result {
 	// Buffered to the matrix size: a worker's send never blocks, so a
 	// stalled consumer cannot wedge the pool (or, transitively, a dist
 	// coordinator draining this stream).
+	// Results escape to the consumer for an unbounded time, so Stream
+	// runs cells unpooled (Engine.Exec): a streamed Result.RT is never
+	// recycled out from under the receiver.
 	fin := make(chan finished, len(jobs))
 	go func() {
-		e.RunEach(jobs, func(i int, r Result) { fin <- finished{i, r} })
+		e.Do(len(jobs), func(i int) { fin <- finished{i, e.Exec(jobs[i])} })
 		close(fin)
 	}()
 	go func() {

@@ -219,3 +219,16 @@ func TestEngineDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestPooledFigureIdentity renders the same figures twice on one
+// engine: the first pass fills the shard pool, the second runs on
+// recycled (Reset) runtimes. The rendered bytes must not differ — the
+// figure-level form of the pooled-shard determinism contract.
+func TestPooledFigureIdentity(t *testing.T) {
+	eng := engine.New(4)
+	first := Fig41(eng).String() + Fig45(eng).String()
+	second := Fig41(eng).String() + Fig45(eng).String()
+	if first != second {
+		t.Fatalf("pooled re-render differs:\n%s\nvs\n%s", second, first)
+	}
+}

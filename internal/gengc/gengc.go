@@ -179,12 +179,12 @@ func (g *System) markYoung(id heap.HandleID) {
 	for len(g.work) > 0 {
 		src := g.work[len(g.work)-1]
 		g.work = g.work[:len(g.work)-1]
-		h.Refs(src, func(dst heap.HandleID) {
-			if !g.old[int(dst)] && !g.mark[int(dst)] {
+		for _, dst := range h.RefSlots(src) {
+			if dst != heap.Nil && !g.old[int(dst)] && !g.mark[int(dst)] {
 				g.mark[int(dst)] = true
 				g.work = append(g.work, dst)
 			}
-		})
+		}
 	}
 }
 
@@ -261,12 +261,12 @@ func (g *System) markAll(id heap.HandleID) {
 	for len(g.work) > 0 {
 		src := g.work[len(g.work)-1]
 		g.work = g.work[:len(g.work)-1]
-		h.Refs(src, func(dst heap.HandleID) {
-			if !g.mark[int(dst)] {
+		for _, dst := range h.RefSlots(src) {
+			if dst != heap.Nil && !g.mark[int(dst)] {
 				g.mark[int(dst)] = true
 				g.work = append(g.work, dst)
 			}
-		})
+		}
 	}
 }
 

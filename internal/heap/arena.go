@@ -35,10 +35,12 @@ type span struct {
 // cursor (the remembered last-allocation position) and wraps once before
 // failing, reproducing the JDK 1.1.8 policy that §4.8 analyses.
 type Arena struct {
-	size   int
-	free   []span // sorted by addr, never adjacent (always coalesced)
-	cursor int    // address just past the last allocation; scans start here
-	inUse  int    // allocated bytes
+	size    int
+	free    []span // sorted by addr, never adjacent (always coalesced)
+	cursor  int    // address just past the last allocation; scans start here
+	curIdx  int    // hint: index of the first span at/after cursor (validated before use)
+	freeIdx int    // hint: insertion index of the last Free (validated before use)
+	inUse   int    // allocated bytes
 }
 
 // NewArena returns an arena spanning [0, size) bytes, entirely free.
@@ -51,6 +53,16 @@ func NewArena(size int) *Arena {
 
 // Size reports the arena's total byte capacity.
 func (a *Arena) Size() int { return a.size }
+
+// Reset returns the arena to its entirely-free initial state without
+// releasing the span slice's capacity (shard pooling).
+func (a *Arena) Reset() {
+	a.free = append(a.free[:0], span{0, a.size})
+	a.cursor = 0
+	a.curIdx = 0
+	a.freeIdx = 0
+	a.inUse = 0
+}
 
 // InUse reports currently allocated bytes.
 func (a *Arena) InUse() int { return a.inUse }
@@ -81,7 +93,7 @@ func (a *Arena) Alloc(size int) (int, error) {
 		return 0, fmt.Errorf("heap: invalid allocation size %d", size)
 	}
 	n := len(a.free)
-	start := sort.Search(n, func(i int) bool { return a.free[i].addr >= a.cursor })
+	start := a.startIndex(n)
 	for probe := 0; probe < n; probe++ {
 		i := start + probe
 		if i >= n {
@@ -98,10 +110,27 @@ func (a *Arena) Alloc(size int) (int, error) {
 			a.free[i].size -= size
 		}
 		a.cursor = addr + size
+		// Either the carved span shrank (its addr is now the cursor) or
+		// it was removed (the old next span slid into index i, and its
+		// addr exceeds the cursor); both make i the next start index.
+		a.curIdx = i
 		a.inUse += size
 		return addr, nil
 	}
 	return 0, ErrOutOfMemory
+}
+
+// startIndex resolves the first free span at or after the cursor. The
+// cached hint is authoritative whenever it still brackets the cursor —
+// true for any run of allocations with no interleaved free, which is
+// the dominant pattern — so the common case costs two compares instead
+// of a binary search per allocation.
+func (a *Arena) startIndex(n int) int {
+	i := a.curIdx
+	if i <= n && (i == n || a.free[i].addr >= a.cursor) && (i == 0 || a.free[i-1].addr < a.cursor) {
+		return i
+	}
+	return sort.Search(n, func(j int) bool { return a.free[j].addr >= a.cursor })
 }
 
 // Free returns the extent [addr, addr+size) to the free pool, coalescing
@@ -111,7 +140,7 @@ func (a *Arena) Free(addr, size int) {
 	if size <= 0 || addr < 0 || addr+size > a.size {
 		panic(fmt.Sprintf("heap: bad free [%d,%d) in arena of %d", addr, addr+size, a.size))
 	}
-	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr >= addr })
+	i := a.freeIndex(addr)
 	// Overlap checks guard the no-overlap invariant (DESIGN.md §5.5).
 	if i > 0 && a.free[i-1].addr+a.free[i-1].size > addr {
 		panic(fmt.Sprintf("heap: double free or overlap at %d", addr))
@@ -135,7 +164,24 @@ func (a *Arena) Free(addr, size int) {
 		copy(a.free[i+1:], a.free[i:])
 		a.free[i] = span{addr, size}
 	}
+	a.freeIdx = i
 	a.inUse -= size
+}
+
+// freeIndex resolves the insertion index for a free at addr: the first
+// span at or after it. A dying equilive set releases its members in
+// allocation order, so consecutive frees bracket at (or next to) the
+// previous free's index; the cached hint turns the per-free binary
+// search into a couple of compares, falling back to the search when an
+// interleaved allocation moved things.
+func (a *Arena) freeIndex(addr int) int {
+	n := len(a.free)
+	for i := a.freeIdx; i <= a.freeIdx+1 && i <= n; i++ {
+		if (i == n || a.free[i].addr >= addr) && (i == 0 || a.free[i-1].addr < addr) {
+			return i
+		}
+	}
+	return sort.Search(n, func(i int) bool { return a.free[i].addr >= addr })
 }
 
 // checkInvariants validates the sorted/coalesced/accounted structure. It

@@ -27,6 +27,10 @@ type Class struct {
 // headerBytes models the JVM object header.
 const headerBytes = 8
 
+// maxSlab bounds the shared ref slab so extent offsets (and off+len
+// sums) fit the int32 fields of the handle record.
+const maxSlab = 1<<31 - 1
+
 // refBytes models one reference slot (handle index) in the object body.
 const refBytes = 4
 
@@ -41,14 +45,20 @@ func InstanceSize(c Class, extra int) int {
 
 // handle is one slot of the handle table: the indirection cell through
 // which all references pass (§3.1: "Each handle contains a pointer to the
-// object's current location …").
+// object's current location …"). Reference slots live in the heap's
+// shared slab, not in a per-handle slice: the handle records only its
+// extent (offset, live length, capacity). refOff/refCap survive Free so
+// that a handle slot recycled through the free-ID path reuses its slab
+// extent — steady-state allocation touches no Go allocator.
 type handle struct {
-	class ClassID
-	addr  int
-	size  int
-	refs  []HandleID
-	live  bool
-	birth uint64 // allocation sequence number
+	class  ClassID
+	addr   int
+	size   int
+	refOff int32 // base of this handle's extent in the ref slab
+	refLen int32 // live reference slots (current instance)
+	refCap int32 // extent capacity; kept across Free for reuse
+	live   bool
+	birth  uint64 // allocation sequence number
 }
 
 // Stats aggregates heap-level counters.
@@ -59,16 +69,23 @@ type Stats struct {
 	BytesAlloc  uint64 // cumulative bytes allocated
 }
 
-// Heap combines the class table, handle table and arena.
-// Create one with New.
+// Heap combines the class table, handle table, the shared ref slab and
+// the arena. Create one with New.
 type Heap struct {
 	classes []Class
 	byName  map[string]ClassID
 	handles []handle
 	freeIDs []HandleID
-	arena   *Arena
-	stats   Stats
-	seq     uint64
+	// slab is the single backing store for every handle's reference
+	// slots: handle i owns slab[refOff : refOff+refLen]. Extents are
+	// recycled with their handle slot (see handle.refCap); an extent is
+	// orphaned only when a recycled slot needs a wider one, so in steady
+	// state Alloc/Reinit/Free perform no Go allocation and the mark
+	// phase walks contiguous memory.
+	slab  []HandleID
+	arena *Arena
+	stats Stats
+	seq   uint64
 }
 
 // New returns a heap whose object space spans arenaBytes.
@@ -117,16 +134,28 @@ func (h *Heap) Arena() *Arena { return h.arena }
 func (h *Heap) Stats() Stats { return h.stats }
 
 // h returns the handle record for id, panicking on null or stale IDs:
-// handle discipline violations are runtime bugs, not user errors.
+// handle discipline violations are runtime bugs, not user errors. The
+// failure paths live in a noinline helper so h itself inlines into the
+// per-event accessors.
 func (h *Heap) h(id HandleID) *handle {
+	hd := &h.handles[int(id)]
+	if id == Nil || !hd.live {
+		h.badHandle(id)
+	}
+	return hd
+}
+
+//go:noinline
+func (h *Heap) badHandle(id HandleID) {
 	if id == Nil {
 		panic("heap: null handle dereference")
 	}
-	hd := &h.handles[int(id)]
-	if !hd.live {
-		panic(fmt.Sprintf("heap: dangling handle %d", id))
-	}
-	return hd
+	panic(fmt.Sprintf("heap: dangling handle %d", id))
+}
+
+//go:noinline
+func (h *Heap) badSlot(hd *handle, i int) {
+	panic(fmt.Sprintf("heap: ref slot %d out of range on %s", i, h.classes[hd.class].Name))
 }
 
 // Alloc creates an instance of class c with extra additional reference
@@ -153,32 +182,64 @@ func (h *Heap) Alloc(c ClassID, extra int) (HandleID, error) {
 		id = HandleID(len(h.handles) - 1)
 	}
 	h.seq++
-	nrefs := cls.Refs + extra
 	hd := &h.handles[int(id)]
-	*hd = handle{class: c, addr: addr, size: size, live: true, birth: h.seq}
-	if nrefs > 0 {
-		if cap(hd.refs) >= nrefs {
-			hd.refs = hd.refs[:nrefs]
-			for i := range hd.refs {
-				hd.refs[i] = Nil
-			}
-		} else {
-			hd.refs = make([]HandleID, nrefs)
-		}
-	}
+	hd.class = c
+	hd.addr = addr
+	hd.size = size
+	hd.live = true
+	hd.birth = h.seq
+	h.bindRefs(hd, cls.Refs+extra)
 	h.stats.Allocs++
 	h.stats.BytesAlloc += uint64(size)
 	return id, nil
 }
 
+// bindRefs points hd at a zeroed slab extent of nrefs slots, reusing the
+// slot's previous extent when it is wide enough (the free-ID recycling
+// path) and carving a fresh one off the slab tail otherwise.
+func (h *Heap) bindRefs(hd *handle, nrefs int) {
+	if nrefs <= int(hd.refCap) {
+		hd.refLen = int32(nrefs)
+		clearRefs(h.slab[hd.refOff : hd.refOff+int32(nrefs)])
+		return
+	}
+	off := len(h.slab)
+	if off+nrefs > maxSlab {
+		panic("heap: ref slab exceeds 2^31 slots")
+	}
+	if n := off + nrefs; n <= cap(h.slab) {
+		h.slab = h.slab[:n]
+		clearRefs(h.slab[off:]) // reused capacity may hold stale refs
+	} else {
+		h.slab = append(h.slab, make([]HandleID, nrefs)...)
+	}
+	hd.refOff = int32(off)
+	hd.refLen = int32(nrefs)
+	hd.refCap = int32(nrefs)
+}
+
+// clearRefs nils out a slab extent (compiles to a memclr).
+func clearRefs(s []HandleID) {
+	for i := range s {
+		s[i] = Nil
+	}
+}
+
+// refs returns hd's live reference slots as a slab window.
+func (h *Heap) refs(hd *handle) []HandleID {
+	return h.slab[hd.refOff : hd.refOff+hd.refLen]
+}
+
 // Free releases an object's arena extent and recycles its handle slot.
-// Freeing Nil or a dead handle panics: both collectors must agree on
-// ownership, and a double free indicates a collector bug.
+// The slab extent stays bound to the slot (refCap) so a later Alloc
+// reusing the slot reuses the extent. Freeing Nil or a dead handle
+// panics: both collectors must agree on ownership, and a double free
+// indicates a collector bug.
 func (h *Heap) Free(id HandleID) {
 	hd := h.h(id)
 	h.arena.Free(hd.addr, hd.size)
 	hd.live = false
-	hd.refs = hd.refs[:0]
+	hd.refLen = 0
 	h.freeIDs = append(h.freeIDs, id)
 	h.stats.Frees++
 }
@@ -203,15 +264,7 @@ func (h *Heap) Reinit(id HandleID, c ClassID, extra int) error {
 	h.seq++
 	hd.class = c
 	hd.birth = h.seq
-	nrefs := cls.Refs + extra
-	if cap(hd.refs) >= nrefs {
-		hd.refs = hd.refs[:nrefs]
-		for i := range hd.refs {
-			hd.refs[i] = Nil
-		}
-	} else {
-		hd.refs = make([]HandleID, nrefs)
-	}
+	h.bindRefs(hd, cls.Refs+extra)
 	h.stats.Allocs++
 	h.stats.BytesAlloc += uint64(need)
 	return nil
@@ -250,15 +303,15 @@ func (h *Heap) AddrOf(id HandleID) int { return h.h(id).addr }
 func (h *Heap) Birth(id HandleID) uint64 { return h.h(id).birth }
 
 // NumRefSlots reports how many reference slots a live object carries.
-func (h *Heap) NumRefSlots(id HandleID) int { return len(h.h(id).refs) }
+func (h *Heap) NumRefSlots(id HandleID) int { return int(h.h(id).refLen) }
 
 // GetRef reads reference slot i of object id.
 func (h *Heap) GetRef(id HandleID, i int) HandleID {
 	hd := h.h(id)
-	if i < 0 || i >= len(hd.refs) {
-		panic(fmt.Sprintf("heap: ref slot %d out of range on %s", i, h.classes[hd.class].Name))
+	if uint(i) >= uint(hd.refLen) {
+		h.badSlot(hd, i)
 	}
-	return hd.refs[i]
+	return h.slab[hd.refOff+int32(i)]
 }
 
 // SetRef writes reference slot i of object id. The *runtime* is
@@ -266,19 +319,24 @@ func (h *Heap) GetRef(id HandleID, i int) HandleID {
 // collector before calling SetRef; the heap is policy-free.
 func (h *Heap) SetRef(id HandleID, i int, val HandleID) {
 	hd := h.h(id)
-	if i < 0 || i >= len(hd.refs) {
-		panic(fmt.Sprintf("heap: ref slot %d out of range on %s", i, h.classes[hd.class].Name))
+	if uint(i) >= uint(hd.refLen) {
+		h.badSlot(hd, i)
 	}
 	if val != Nil && !h.Live(val) {
 		panic("heap: storing dangling reference")
 	}
-	hd.refs[i] = val
+	h.slab[hd.refOff+int32(i)] = val
 }
+
+// RefSlots returns a live object's reference slots as a read-only view
+// of the shared slab — the contiguous walk the mark phase performs.
+// Callers must not retain the slice across any heap mutation.
+func (h *Heap) RefSlots(id HandleID) []HandleID { return h.refs(h.h(id)) }
 
 // Refs iterates over the non-nil outgoing references of a live object,
 // the traversal the MSA mark phase performs.
 func (h *Heap) Refs(id HandleID, fn func(HandleID)) {
-	for _, r := range h.h(id).refs {
+	for _, r := range h.refs(h.h(id)) {
 		if r != Nil {
 			fn(r)
 		}
@@ -293,4 +351,23 @@ func (h *Heap) ForEachLive(fn func(HandleID)) {
 			fn(HandleID(i))
 		}
 	}
+}
+
+// Reset returns the heap to its freshly constructed state — empty class
+// table, one-slot handle table, empty slab, fully free arena, zeroed
+// counters — without releasing any capacity. A pooled execution shard
+// calls this between matrix cells so a sweep stops paying per-cell
+// arena and table construction; a reset heap is observably identical to
+// heap.New(h.Arena().Size()).
+func (h *Heap) Reset() {
+	h.arena.Reset()
+	h.classes = h.classes[:0]
+	clear(h.byName)
+	// Shrink to the Nil slot. Stale records beyond len are overwritten
+	// by the zero-handle append in Alloc before they are ever reachable.
+	h.handles = h.handles[:1]
+	h.freeIDs = h.freeIDs[:0]
+	h.slab = h.slab[:0]
+	h.stats = Stats{}
+	h.seq = 0
 }

@@ -1,0 +1,206 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// slabModel is the reference semantics the slab-backed heap must match:
+// the old per-handle-slice behavior, kept as plain Go maps. Every
+// observable — GetRef, SetRef, Refs, NumRefSlots, Live — must agree
+// after any operation sequence.
+type slabModel struct {
+	refs map[HandleID][]HandleID // live handles only
+}
+
+func (m *slabModel) alloc(id HandleID, nrefs int) {
+	m.refs[id] = make([]HandleID, nrefs)
+}
+
+func (m *slabModel) free(id HandleID) { delete(m.refs, id) }
+
+// TestSlabMatchesPerSliceModel drives randomized Alloc / Free / Reinit
+// / SetRef sequences and checks the slab-backed ref storage against the
+// reference model after every step. This is the property the slab
+// refactor must preserve: extent sharing and recycling are invisible —
+// no stale value from a previous occupant of an extent may ever leak
+// into a fresh object's slots.
+func TestSlabMatchesPerSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := New(1 << 20)
+	classes := []ClassID{
+		h.DefineClass(Class{Name: "N0", Refs: 0, Data: 8}),
+		h.DefineClass(Class{Name: "N1", Refs: 1, Data: 8}),
+		h.DefineClass(Class{Name: "N3", Refs: 3, Data: 16}),
+		h.DefineClass(Class{Name: "Arr", Refs: 0, Data: 0, IsArray: true}),
+	}
+	nrefsOf := func(c ClassID, extra int) int { return h.ClassDef(c).Refs + extra }
+
+	model := &slabModel{refs: make(map[HandleID][]HandleID)}
+	var live []HandleID
+
+	check := func(step int) {
+		t.Helper()
+		if got, want := h.NumLive(), len(model.refs); got != want {
+			t.Fatalf("step %d: NumLive = %d, model has %d", step, got, want)
+		}
+		for id, want := range model.refs {
+			if !h.Live(id) {
+				t.Fatalf("step %d: model-live handle %d dead in heap", step, id)
+			}
+			if got := h.NumRefSlots(id); got != len(want) {
+				t.Fatalf("step %d: NumRefSlots(%d) = %d, want %d", step, id, got, len(want))
+			}
+			for i, w := range want {
+				if got := h.GetRef(id, i); got != w {
+					t.Fatalf("step %d: GetRef(%d,%d) = %d, want %d", step, id, i, got, w)
+				}
+			}
+			// Refs must visit exactly the non-nil slots in order.
+			var visited []HandleID
+			h.Refs(id, func(r HandleID) { visited = append(visited, r) })
+			var wantVisit []HandleID
+			for _, w := range want {
+				if w != Nil {
+					wantVisit = append(wantVisit, w)
+				}
+			}
+			if len(visited) != len(wantVisit) {
+				t.Fatalf("step %d: Refs(%d) visited %v, want %v", step, id, visited, wantVisit)
+			}
+			for i := range visited {
+				if visited[i] != wantVisit[i] {
+					t.Fatalf("step %d: Refs(%d) visited %v, want %v", step, id, visited, wantVisit)
+				}
+			}
+		}
+	}
+
+	randLive := func() HandleID { return live[rng.Intn(len(live))] }
+	removeLive := func(id HandleID) {
+		for i, o := range live {
+			if o == id {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				return
+			}
+		}
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || len(live) == 0: // alloc
+			ci := rng.Intn(len(classes))
+			c := classes[ci]
+			extra := 0
+			if h.ClassDef(c).IsArray {
+				extra = rng.Intn(6)
+			}
+			id, err := h.Alloc(c, extra)
+			if err != nil {
+				t.Fatalf("step %d: alloc: %v", step, err)
+			}
+			model.alloc(id, nrefsOf(c, extra))
+			live = append(live, id)
+		case op < 6: // free
+			id := randLive()
+			h.Free(id)
+			model.free(id)
+			removeLive(id)
+		case op < 7: // reinit (recycling path): any class that fits
+			id := randLive()
+			ci := rng.Intn(len(classes))
+			c := classes[ci]
+			extra := 0
+			if h.ClassDef(c).IsArray {
+				extra = rng.Intn(6)
+			}
+			if InstanceSize(h.ClassDef(c), extra) > h.SizeOf(id) {
+				continue
+			}
+			if err := h.Reinit(id, c, extra); err != nil {
+				t.Fatalf("step %d: reinit: %v", step, err)
+			}
+			model.alloc(id, nrefsOf(c, extra))
+		default: // setref
+			id := randLive()
+			n := h.NumRefSlots(id)
+			if n == 0 {
+				continue
+			}
+			slot := rng.Intn(n)
+			val := Nil
+			if rng.Intn(3) > 0 {
+				val = randLive()
+			}
+			h.SetRef(id, slot, val)
+			model.refs[id][slot] = val
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(5000)
+}
+
+// TestHeapResetObservablyFresh checks the pooled-shard contract: after
+// Reset, a heap behaves exactly like heap.New of the same arena size —
+// same handle IDs, same addresses, same zeroed slots — even though the
+// slab and tables still hold a previous run's bytes.
+func TestHeapResetObservablyFresh(t *testing.T) {
+	run := func(h *Heap) (ids []HandleID, addrs []int, vals []HandleID) {
+		cls := h.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+		arr := h.DefineClass(Class{Name: "Arr", IsArray: true})
+		for i := 0; i < 100; i++ {
+			id, err := h.Alloc(cls, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			addrs = append(addrs, h.AddrOf(id))
+		}
+		a, err := h.Alloc(arr, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, a)
+		for i := 0; i < 50; i += 2 {
+			h.SetRef(ids[i], 1, ids[i+1])
+			h.Free(ids[i+50])
+		}
+		for i := 0; i < 50; i++ {
+			vals = append(vals, h.GetRef(ids[i], 0), h.GetRef(ids[i], 1))
+		}
+		return ids, addrs, vals
+	}
+
+	fresh := New(1 << 20)
+	wantIDs, wantAddrs, wantVals := run(fresh)
+
+	pooled := New(1 << 20)
+	run(pooled) // dirty it
+	pooled.Reset()
+	if pooled.NumLive() != 0 || pooled.Arena().InUse() != 0 || pooled.HandleCap() != 1 {
+		t.Fatalf("Reset left residue: live=%d inUse=%d cap=%d",
+			pooled.NumLive(), pooled.Arena().InUse(), pooled.HandleCap())
+	}
+	gotIDs, gotAddrs, gotVals := run(pooled)
+	for i := range wantIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("handle %d: id %d after Reset, %d fresh", i, gotIDs[i], wantIDs[i])
+		}
+	}
+	for i := range wantAddrs {
+		if gotAddrs[i] != wantAddrs[i] {
+			t.Fatalf("handle %d: addr %d after Reset, %d fresh", i, gotAddrs[i], wantAddrs[i])
+		}
+	}
+	for i := range wantVals {
+		if gotVals[i] != wantVals[i] {
+			t.Fatalf("val %d: %d after Reset, %d fresh", i, gotVals[i], wantVals[i])
+		}
+	}
+	if got := pooled.Stats(); got != fresh.Stats() {
+		t.Fatalf("stats after Reset = %+v, fresh = %+v", got, fresh.Stats())
+	}
+}

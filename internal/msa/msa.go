@@ -136,7 +136,13 @@ func (m *Collector) markFrom(root heap.HandleID, f *vm.Frame, hooks Hooks) {
 	for len(m.work) > 0 {
 		src := m.work[len(m.work)-1]
 		m.work = m.work[:len(m.work)-1]
-		h.Refs(src, func(dst heap.HandleID) {
+		// RefSlots walks the object's slab extent directly — the
+		// contiguous-memory traversal the slab layout buys the mark
+		// phase (no per-edge closure call).
+		for _, dst := range h.RefSlots(src) {
+			if dst == heap.Nil {
+				continue
+			}
 			m.stats.EdgeVisits++
 			if !m.mark[int(dst)] {
 				m.mark[int(dst)] = true
@@ -148,7 +154,7 @@ func (m *Collector) markFrom(root heap.HandleID, f *vm.Frame, hooks Hooks) {
 				m.work = append(m.work, dst)
 			}
 			hooks.Edge(src, dst)
-		})
+		}
 	}
 }
 

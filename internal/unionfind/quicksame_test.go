@@ -1,0 +1,61 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuickSameSoundness drives random union/find/reset traffic and
+// checks the fast path's one-sided contract on both representations:
+// QuickSame may answer false for equilive elements (the caller then
+// pays two Finds), but a true must always agree with Find — a false
+// positive would silently drop contaminations.
+func TestQuickSameSoundness(t *testing.T) {
+	type forest interface {
+		Forest
+		QuickSame(x, y int) bool
+	}
+	for _, tc := range []struct {
+		name string
+		f    forest
+	}{
+		{"dsu", NewDSU(0)},
+		{"packed", NewPacked(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			const n = 500
+			tc.f.MakeSet(n - 1)
+			for step := 0; step < 20000; step++ {
+				x, y := rng.Intn(n), rng.Intn(n)
+				switch rng.Intn(10) {
+				case 0:
+					tc.f.Find(x)
+				case 1:
+					// Reset only an element no one names as ancestor: a
+					// root with no children, i.e. a singleton. (Mirrors
+					// the CG rebuild invariant.)
+					if tc.f.Find(x) == x {
+						continue
+					}
+				default:
+					tc.f.Union(x, y)
+				}
+				a, b := rng.Intn(n), rng.Intn(n)
+				if tc.f.QuickSame(a, b) && tc.f.Find(a) != tc.f.Find(b) {
+					t.Fatalf("step %d: QuickSame(%d,%d) true but roots differ", step, a, b)
+				}
+				// And after compression the fast path must actually hit
+				// for freshly-united pairs — the property the putfield
+				// fast path relies on for its speedup.
+				if tc.f.Find(a) == tc.f.Find(b) {
+					tc.f.Find(a)
+					tc.f.Find(b)
+					if !tc.f.QuickSame(a, b) {
+						t.Fatalf("step %d: compressed equilive pair (%d,%d) missed the fast path", step, a, b)
+					}
+				}
+			}
+		})
+	}
+}

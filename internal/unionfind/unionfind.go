@@ -55,8 +55,17 @@ func NewDSU(n int) *DSU {
 	return d
 }
 
-// MakeSet implements Forest.
+// MakeSet implements Forest. Existing elements are one compare (the
+// per-allocation hot case: handle IDs recycle, so the forest is
+// usually already grown); extension is the cold path.
 func (d *DSU) MakeSet(x int) {
+	if x >= len(d.parent) {
+		d.grow(x)
+	}
+}
+
+//go:noinline
+func (d *DSU) grow(x int) {
 	for len(d.parent) <= x {
 		d.parent = append(d.parent, int32(len(d.parent)))
 		d.rank = append(d.rank, 0)
@@ -108,6 +117,24 @@ func (d *DSU) Reset(x int) {
 // RankOf exposes x's rank for tests and for the §4.4 block statistics.
 func (d *DSU) RankOf(x int) int { return int(d.rank[x]) }
 
+// QuickSame is a one-pass, compression-free check that x and y are
+// already in one set. It answers true only when that is certain from a
+// single parent load per element (identical elements, or identical
+// immediate parents — the common case after path compression); false
+// means "unknown", and the caller falls back to two full Finds. This is
+// the cheap first stage of the putfield fast path: after the first
+// contamination of a hot object pair, every subsequent store between
+// them resolves here without touching rank words or rewriting parents.
+func (d *DSU) QuickSame(x, y int) bool {
+	if x == y {
+		return true
+	}
+	px, py := d.parent[x], d.parent[y]
+	// Roots have parent == self, so px == py already implies x and y
+	// share a tree; a root's parent can never equal another element's.
+	return px == py || int(px) == y || int(py) == x
+}
+
 // rankBits is the number of low bits of the packed parent word reserved
 // for the rank. The thesis (§3.5) reserves four bits after observing that
 // ranks stay below ten on SPECjvm98; four bits bound the rank at 15, which
@@ -151,8 +178,15 @@ func (p *Packed) setParent(x, parent int) {
 	p.word[x] = pack(parent, p.rankOf(x))
 }
 
-// MakeSet implements Forest.
+// MakeSet implements Forest; see DSU.MakeSet.
 func (p *Packed) MakeSet(x int) {
+	if x >= len(p.word) {
+		p.grow(x)
+	}
+}
+
+//go:noinline
+func (p *Packed) grow(x int) {
 	for len(p.word) <= x {
 		p.word = append(p.word, pack(len(p.word), 0))
 	}
@@ -201,6 +235,15 @@ func (p *Packed) Reset(x int) {
 
 // RankOf exposes x's (saturating) rank for tests and statistics.
 func (p *Packed) RankOf(x int) int { return p.rankOf(x) }
+
+// QuickSame is the one-pass same-set check; see DSU.QuickSame.
+func (p *Packed) QuickSame(x, y int) bool {
+	if x == y {
+		return true
+	}
+	px, py := p.parentOf(x), p.parentOf(y)
+	return px == py || px == y || py == x
+}
 
 // Compile-time interface checks.
 var (

@@ -1,0 +1,208 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+)
+
+// accessLog records OnAccess dispatches, to pin down exactly when the
+// runtime elides them.
+type accessLog struct {
+	BaseCollector
+	accesses int
+}
+
+func (a *accessLog) Name() string                         { return "accesslog" }
+func (a *accessLog) OnAccess(id heap.HandleID, t *Thread) { a.accesses++ }
+
+func TestOperandRingDedupBoundsGrowth(t *testing.T) {
+	rt, node, _ := newTestRT(BaseCollector{}, 1<<20)
+	th := rt.NewThread(1)
+	th.CallVoid(1, func(f *Frame) {
+		obj := f.MustNew(node)
+		val := f.MustNew(node)
+		f.PutField(obj, 0, val)
+		before := len(f.operands)
+		// A hot loop re-reading one field roots its result once, not
+		// once per read.
+		for i := 0; i < 1000; i++ {
+			if got := f.GetField(obj, 0); got != val {
+				t.Fatalf("GetField = %d, want %d", got, val)
+			}
+		}
+		if grew := len(f.operands) - before; grew > 1 {
+			t.Fatalf("operands grew by %d over a same-handle loop, want <= 1", grew)
+		}
+	})
+}
+
+func TestForgetPurgesRingAndCompacts(t *testing.T) {
+	rt, node, _ := newTestRT(BaseCollector{}, 1<<20)
+	th := rt.NewThread(1)
+	th.CallVoid(1, func(f *Frame) {
+		ids := make([]heap.HandleID, 8)
+		for i := range ids {
+			ids[i] = f.MustNew(node)
+		}
+		// Forget must purge the ring: a forgotten handle re-rooted
+		// immediately afterwards has to reappear on the operand list,
+		// or the driver would hold an unrooted reference.
+		f.Forget(ids[7])
+		f.addOperand(ids[7])
+		found := 0
+		for _, o := range f.operands {
+			if o == ids[7] {
+				found++
+			}
+		}
+		if found != 1 {
+			t.Fatalf("re-rooted handle appears %d times, want 1", found)
+		}
+		// Forgetting most of the list triggers the one-shot compaction:
+		// no Nil padding survives once half the entries are dead.
+		for _, id := range ids[:7] {
+			f.Forget(id)
+		}
+		for _, o := range f.operands {
+			if o == heap.Nil {
+				t.Fatalf("operands %v still hold Nil after compaction threshold", f.operands)
+			}
+		}
+		if f.opNils != 0 {
+			t.Fatalf("opNils = %d after compaction, want 0", f.opNils)
+		}
+	})
+}
+
+// TestForgetManyOperandsLinearish exercises the drop-everything
+// pattern: forgetting every operand of a large frame. Each Forget
+// still reads the whole list (it must drop *every* occurrence), but
+// the old per-call slice rewrite — n²/2 *writes* plus repeated
+// reallocation traffic — is replaced by in-place nil-outs with a
+// one-shot compaction. The assertion is semantic: everything is gone
+// at the end, and re-rooting afterwards still works.
+func TestForgetManyOperandsLinearish(t *testing.T) {
+	rt, node, _ := newTestRT(BaseCollector{}, 64<<20)
+	th := rt.NewThread(1)
+	th.CallVoid(1, func(f *Frame) {
+		const n = 20000
+		ids := make([]heap.HandleID, n)
+		for i := range ids {
+			ids[i] = f.MustNew(node)
+		}
+		for _, id := range ids {
+			f.Forget(id)
+		}
+		if len(f.operands) != 0 {
+			t.Fatalf("%d operands survive forgetting everything", len(f.operands))
+		}
+	})
+}
+
+func TestAccessDispatchElidedUntilSecondThread(t *testing.T) {
+	log := &accessLog{}
+	rt, node, _ := newTestRT(log, 1<<20)
+	t1 := rt.NewThread(1)
+	t1.CallVoid(1, func(f *Frame) {
+		obj := f.MustNew(node)
+		val := f.MustNew(node)
+		f.PutField(obj, 0, val)
+		f.GetField(obj, 0)
+		f.SetLocal(0, obj)
+	})
+	if log.accesses != 0 {
+		t.Fatalf("single-threaded runtime dispatched %d OnAccess events, want 0", log.accesses)
+	}
+	rt.NewThread(1) // second thread: deferred semantics fire, dispatch is live
+	t1.CallVoid(1, func(f *Frame) {
+		obj := f.MustNew(node)
+		f.SetLocal(0, obj)
+	})
+	if log.accesses == 0 {
+		t.Fatal("multithreaded runtime still eliding OnAccess")
+	}
+}
+
+func TestAccessDispatchForcedByStaticFrameAlloc(t *testing.T) {
+	log := &accessLog{}
+	rt, node, _ := newTestRT(log, 1<<20)
+	t1 := rt.NewThread(1)
+	// An allocation owned by the static pseudo-frame has no owning
+	// thread, so the single-thread proof breaks: dispatch must resume
+	// before the thread can touch the object unobserved.
+	obj, err := rt.StaticFrame().New(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.CallVoid(1, func(f *Frame) { f.SetLocal(0, obj) })
+	if log.accesses == 0 {
+		t.Fatal("static-frame allocation did not re-enable OnAccess dispatch")
+	}
+}
+
+func TestForceAccessEvents(t *testing.T) {
+	log := &accessLog{}
+	rt, node, _ := newTestRT(log, 1<<20)
+	rt.ForceAccessEvents()
+	th := rt.NewThread(1)
+	th.CallVoid(1, func(f *Frame) { f.SetLocal(0, f.MustNew(node)) })
+	if log.accesses == 0 {
+		t.Fatal("ForceAccessEvents did not defeat single-thread elision")
+	}
+}
+
+// TestRuntimeResetObservablyFresh pins the pooled-shard contract at the
+// runtime level: after Reset the same Runtime replays a program with
+// identical frame IDs, handle IDs, instruction counts and statistics.
+func TestRuntimeResetObservablyFresh(t *testing.T) {
+	program := func(rt *Runtime, node heap.ClassID) (ids []heap.HandleID, frames []uint64) {
+		th := rt.NewThread(1)
+		th.CallVoid(2, func(f *Frame) {
+			frames = append(frames, f.ID)
+			a := f.MustNew(node)
+			b := f.MustNew(node)
+			ids = append(ids, a, b)
+			f.PutField(a, 0, b)
+			f.SetLocal(0, a)
+			s := rt.StaticSlot("root")
+			f.PutStatic(s, a)
+			i, err := f.Intern("hello", node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, i)
+			th.CallVoid(1, func(g *Frame) {
+				frames = append(frames, g.ID)
+				ids = append(ids, g.MustNew(node))
+			})
+		})
+		return ids, frames
+	}
+
+	fresh, node, _ := newTestRT(BaseCollector{}, 1<<20)
+	wantIDs, wantFrames := program(fresh, node)
+	wantInstr := fresh.Instr()
+
+	reused, node2, _ := newTestRT(BaseCollector{}, 1<<20)
+	program(reused, node2)
+	reused.Reset(BaseCollector{})
+	if reused.Instr() != 0 || len(reused.Threads()) != 0 || reused.GCCycles() != 0 {
+		t.Fatal("Reset left runtime state behind")
+	}
+	node3 := reused.Heap.DefineClass(heap.Class{Name: "Node", Refs: 2, Data: 8})
+	gotIDs, gotFrames := program(reused, node3)
+	if reused.Instr() != wantInstr {
+		t.Fatalf("Instr after Reset = %d, fresh = %d", reused.Instr(), wantInstr)
+	}
+	for i := range wantIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("handle %d: %d after Reset, %d fresh", i, gotIDs[i], wantIDs[i])
+		}
+	}
+	for i := range wantFrames {
+		if gotFrames[i] != wantFrames[i] {
+			t.Fatalf("frame %d: ID %d after Reset, %d fresh", i, gotFrames[i], wantFrames[i])
+		}
+	}
+}

@@ -47,10 +47,18 @@ type Collector interface {
 	// OnReturn observes a method returning val to caller (areturn).
 	OnReturn(val heap.HandleID, caller *Frame)
 	// OnFramePop observes frame f popping; an incremental collector may
-	// reclaim storage here and reports how many objects it freed.
+	// reclaim storage here and reports how many objects it freed. The
+	// runtime elides the dispatch for frames whose GCHead is Nil — no
+	// collector-owned state depends on them — so a collector that
+	// tracks pops without arming GCHead must call
+	// Runtime.ForceFramePopEvents in Attach.
 	OnFramePop(f *Frame) int
 	// OnAccess observes thread t touching object id (thread-share
-	// detection, §3.3).
+	// detection, §3.3). The runtime elides this dispatch entirely while
+	// it can prove every call would be a no-op — a single thread owns
+	// every object it could touch (see Runtime.accessOn); a collector
+	// that inspects access events unconditionally (e.g. cg+checked's
+	// taint assurance) must call Runtime.ForceAccessEvents in Attach.
 	OnAccess(id heap.HandleID, t *Thread)
 	// AllocFallback gives the collector a chance to satisfy an
 	// allocation from recycled storage after the arena is exhausted
@@ -88,19 +96,26 @@ type Frame struct {
 	// the driver may hold it in a Go variable the collectors cannot see.
 	// This mirrors how Sun's JVM pins local references handed across the
 	// native boundary (§3.3). Forget is the DeleteLocalRef analog.
+	// Entries may be Nil (forgotten in place); root consumers skip Nil.
 	operands []heap.HandleID
-	rt       *Runtime
+	// opRing holds the most recently rooted handles: addOperand skips a
+	// handle already in the ring, so a raytrace-style loop re-reading
+	// the same field thousands of times roots it once instead of
+	// growing operands without bound. Nil slots match nothing.
+	opRing [opRingSize]heap.HandleID
+	opPos  uint32 // next ring slot (mod opRingSize)
+	opNils int32  // forgotten-in-place entries awaiting compaction
+	rt     *Runtime
 }
+
+// opRingSize is the operand dedup window. A power of two keeps the ring
+// update branch-free; 4 covers the hot re-root patterns (obj, a couple
+// of fields, the loop temp) the workload analogs exhibit.
+const opRingSize = 4
 
 // Runtime glues heap, threads, statics and the collector together.
 type Runtime struct {
 	Heap *heap.Heap
-
-	// GCEvery, when non-zero, forces a full collection every GCEvery
-	// runtime operations — the instrumentation behind the resetting
-	// experiment ("we instrumented the JVM to run garbage collection
-	// after a certain number of instructions", §4.7).
-	GCEvery uint64
 
 	collector   Collector
 	threads     []*Thread
@@ -116,6 +131,27 @@ type Runtime struct {
 	frameSeq      uint64
 	instr         uint64
 	gcCycles      int
+
+	// gcEvery/countdown implement SetGCEvery as a decrement instead of
+	// a modulo on every step: countdown is 0 when the forced-collection
+	// instrumentation is off, so the steady-state step cost is one load
+	// and one never-taken branch.
+	gcEvery   uint64
+	countdown uint64
+
+	// popAlways, when set, dispatches OnFramePop even for frames whose
+	// GCHead is Nil (see ForceFramePopEvents).
+	popAlways bool
+
+	// accessOn gates OnAccess dispatch. While false the runtime has
+	// proved every OnAccess call would be a no-op: a single thread
+	// exists and every object was allocated by it, so thread-share
+	// detection (§3.3) can observe nothing. It flips — once, and
+	// permanently — on the second NewThread or on an allocation owned
+	// by the static pseudo-frame (whose owner differs from any thread);
+	// events before the flip are exactly the ones that were provably
+	// no-ops, so eliding them is semantics-preserving (DESIGN.md §5).
+	accessOn bool
 }
 
 // Thread is a green thread: a stack of frames driven directly by Go code
@@ -148,6 +184,30 @@ func New(h *heap.Heap, c Collector) *Runtime {
 // Collector returns the attached collector.
 func (rt *Runtime) Collector() Collector { return rt.collector }
 
+// Reset returns the runtime — and its heap — to the freshly constructed
+// state over the same arena, attaching collector c in place of the old
+// one. Tables and slices keep their capacity: a pooled execution shard
+// resets between matrix cells instead of paying construction per cell.
+// A reset runtime is observably identical to vm.New(heap, c) over a
+// fresh heap of the same arena size (see TestEnginePooledDeterminism).
+func (rt *Runtime) Reset(c Collector) {
+	rt.Heap.Reset()
+	rt.collector = c
+	rt.threads = rt.threads[:0]
+	rt.statics = rt.statics[:0]
+	clear(rt.staticNames)
+	clear(rt.interned)
+	rt.internedRoots = rt.internedRoots[:0]
+	*rt.staticFrame = Frame{ID: 0, Depth: 0, rt: rt}
+	rt.frameSeq = 0
+	rt.instr = 0
+	rt.gcCycles = 0
+	rt.gcEvery, rt.countdown = 0, 0
+	rt.accessOn = false
+	rt.popAlways = false
+	c.Attach(rt)
+}
+
 // StaticFrame returns the immortal pseudo-frame 0.
 func (rt *Runtime) StaticFrame() *Frame { return rt.staticFrame }
 
@@ -157,12 +217,43 @@ func (rt *Runtime) Instr() uint64 { return rt.instr }
 // GCCycles reports how many full (traditional) collections ran.
 func (rt *Runtime) GCCycles() int { return rt.gcCycles }
 
+// SetGCEvery arranges a full collection every n runtime operations,
+// counted from this call — the instrumentation behind the resetting
+// experiment ("we instrumented the JVM to run garbage collection after
+// a certain number of instructions", §4.7). n = 0 disables it. Call
+// before driving work; the period restarts when set.
+func (rt *Runtime) SetGCEvery(n uint64) {
+	rt.gcEvery = n
+	rt.countdown = n
+}
+
+// GCEvery reports the forced-collection period (0 = off).
+func (rt *Runtime) GCEvery() uint64 { return rt.gcEvery }
+
+// ForceAccessEvents makes the runtime dispatch OnAccess unconditionally
+// instead of eliding it while provably no-op. Collectors whose OnAccess
+// has effects beyond thread-share detection (cg+checked's taint
+// assurance) call this from Attach.
+func (rt *Runtime) ForceAccessEvents() { rt.accessOn = true }
+
+// ForceFramePopEvents makes the runtime dispatch OnFramePop for every
+// pop, including frames with a Nil GCHead. Collectors that track pops
+// without arming the frame's GCHead word (instrumentation, tests) call
+// this from Attach; CG does not need it — a frame it never linked a
+// dependent set to has, by construction, nothing to collect.
+func (rt *Runtime) ForceFramePopEvents() { rt.popAlways = true }
+
 // step counts one runtime operation and fires the periodic forced
-// collection used by the resetting experiment.
+// collection used by the resetting experiment. The countdown replaces
+// the modulo the instrumentation check used to cost on every event.
 func (rt *Runtime) step() {
 	rt.instr++
-	if rt.GCEvery != 0 && rt.instr%rt.GCEvery == 0 {
-		rt.ForceCollect()
+	if rt.countdown != 0 {
+		rt.countdown--
+		if rt.countdown == 0 {
+			rt.countdown = rt.gcEvery
+			rt.ForceCollect()
+		}
 	}
 }
 
@@ -173,9 +264,17 @@ func (rt *Runtime) ForceCollect() int {
 }
 
 // NewThread creates a thread with a root frame holding nlocals locals.
+// The second thread flips the runtime to multithreaded dispatch: from
+// here on every object touch fires OnAccess (thread-share detection can
+// now observe something). The flip is deferred semantics firing exactly
+// once — every elided event before it was a provable no-op, because the
+// sole thread owned every object it could have touched.
 func (rt *Runtime) NewThread(nlocals int) *Thread {
 	t := &Thread{ID: len(rt.threads) + 1, rt: rt}
 	rt.threads = append(rt.threads, t)
+	if len(rt.threads) == 2 {
+		rt.accessOn = true
+	}
 	t.push(nlocals)
 	return t
 }
@@ -202,6 +301,20 @@ func (rt *Runtime) EachRootFrame(fn func(f *Frame, roots []heap.HandleID)) {
 	}
 }
 
+// EachFrame visits every live frame exactly once: the static
+// pseudo-frame, then each thread's stack oldest-first. Consumers that
+// only need the frames (CG's rebuild pass walks their dependent-set
+// lists) use this instead of deduplicating EachRootFrame's repeated
+// presentations.
+func (rt *Runtime) EachFrame(fn func(f *Frame)) {
+	fn(rt.staticFrame)
+	for _, t := range rt.threads {
+		for _, f := range t.stack {
+			fn(f)
+		}
+	}
+}
+
 // push creates (or recycles) a frame on t's stack.
 func (t *Thread) push(nlocals int) *Frame {
 	t.rt.frameSeq++
@@ -218,6 +331,9 @@ func (t *Thread) push(nlocals int) *Frame {
 			f.locals = make([]heap.HandleID, nlocals)
 		}
 		f.operands = f.operands[:0]
+		f.opRing = [opRingSize]heap.HandleID{}
+		f.opPos = 0
+		f.opNils = 0
 	} else {
 		f = &Frame{
 			Thread: t,
@@ -232,13 +348,16 @@ func (t *Thread) push(nlocals int) *Frame {
 	return f
 }
 
-// pop removes t's youngest frame, firing OnFramePop, and recycles it.
-// Collectors must not retain the *Frame past OnFramePop (CG's invariant:
-// no equilive set may depend on a popped frame).
+// pop removes t's youngest frame, firing OnFramePop when any
+// collector-owned state is armed on it, and recycles it. Collectors
+// must not retain the *Frame past OnFramePop (CG's invariant: no
+// equilive set may depend on a popped frame).
 func (t *Thread) pop() {
 	f := t.stack[len(t.stack)-1]
 	t.stack = t.stack[:len(t.stack)-1]
-	t.rt.collector.OnFramePop(f)
+	if f.GCHead != heap.Nil || t.rt.popAlways {
+		t.rt.collector.OnFramePop(f)
+	}
 	t.pool = append(t.pool, f)
 }
 
@@ -275,22 +394,54 @@ func (t *Thread) Call(nlocals int, body func(f *Frame) heap.HandleID) heap.Handl
 	return ret
 }
 
-// addOperand roots a handle handed to driver code in this frame.
+// addOperand roots a handle handed to driver code in this frame. The
+// ring check skips handles rooted within the last opRingSize adds —
+// already on the operand list, so a second entry buys nothing — which
+// bounds operand growth for loops that re-read the same objects. id is
+// never Nil (all call sites check), so empty ring slots match nothing.
 func (f *Frame) addOperand(id heap.HandleID) {
+	if id == f.opRing[0] || id == f.opRing[1] || id == f.opRing[2] || id == f.opRing[3] {
+		return
+	}
+	f.opRing[f.opPos&(opRingSize-1)] = id
+	f.opPos++
 	f.operands = append(f.operands, id)
 }
 
 // Forget drops every operand-reference this frame holds on id — the
 // DeleteLocalRef analog. Locals and object fields referencing id are
 // unaffected.
+//
+// Each call must scan the whole list (every occurrence is dropped),
+// but entries are forgotten in place (root consumers skip Nil) and the
+// list compacts once when half of it is dead, so a driver forgetting
+// many operands pays one compaction instead of a full rewrite per
+// call — the write traffic is amortized even though the read scan is
+// inherently per-call linear.
 func (f *Frame) Forget(id heap.HandleID) {
-	out := f.operands[:0]
-	for _, o := range f.operands {
-		if o != id {
-			out = append(out, o)
+	for i := range f.opRing {
+		if f.opRing[i] == id {
+			// The ring must never claim a handle the operand list no
+			// longer roots: a later addOperand(id) has to re-append.
+			f.opRing[i] = heap.Nil
 		}
 	}
-	f.operands = out
+	for i, o := range f.operands {
+		if o == id {
+			f.operands[i] = heap.Nil
+			f.opNils++
+		}
+	}
+	if int(f.opNils)*2 >= len(f.operands) {
+		out := f.operands[:0]
+		for _, o := range f.operands {
+			if o != heap.Nil {
+				out = append(out, o)
+			}
+		}
+		f.operands = out
+		f.opNils = 0
+	}
 }
 
 // CallVoid is Call for methods that return no reference.
@@ -308,7 +459,7 @@ func (f *Frame) Local(i int) heap.HandleID { return f.locals[i] }
 // reference: it fires no contamination, only thread-access detection.
 func (f *Frame) SetLocal(i int, v heap.HandleID) {
 	f.rt.step()
-	if v != heap.Nil {
+	if f.rt.accessOn && v != heap.Nil {
 		f.rt.collector.OnAccess(v, f.Thread)
 	}
 	f.locals[i] = v
@@ -331,11 +482,17 @@ func (f *Frame) NewArray(c heap.ClassID, n int) (heap.HandleID, error) { return 
 func (f *Frame) alloc(c heap.ClassID, extra int) (heap.HandleID, error) {
 	rt := f.rt
 	rt.step()
+	if f.Thread == nil {
+		// A static-pseudo-frame allocation is owned by no thread, so
+		// the first thread to touch it must be observed as sharing:
+		// access dispatch can no longer be elided.
+		rt.accessOn = true
+	}
 	id, err := rt.Heap.Alloc(c, extra)
 	if err != nil {
 		if rid, ok := rt.collector.AllocFallback(c, extra); ok {
 			rt.collector.OnAlloc(rid, f)
-			if f.Thread != nil {
+			if rt.accessOn && f.Thread != nil {
 				rt.collector.OnAccess(rid, f.Thread)
 			}
 			f.addOperand(rid)
@@ -349,7 +506,7 @@ func (f *Frame) alloc(c heap.ClassID, extra int) (heap.HandleID, error) {
 		}
 	}
 	rt.collector.OnAlloc(id, f)
-	if f.Thread != nil {
+	if rt.accessOn && f.Thread != nil {
 		rt.collector.OnAccess(id, f.Thread)
 	}
 	f.addOperand(id)
@@ -380,9 +537,13 @@ func (f *Frame) MustNewArray(c heap.ClassID, n int) heap.HandleID {
 func (f *Frame) PutField(obj heap.HandleID, slot int, val heap.HandleID) {
 	rt := f.rt
 	rt.step()
-	rt.collector.OnAccess(obj, f.Thread)
+	if rt.accessOn {
+		rt.collector.OnAccess(obj, f.Thread)
+		if val != heap.Nil {
+			rt.collector.OnAccess(val, f.Thread)
+		}
+	}
 	if val != heap.Nil {
-		rt.collector.OnAccess(val, f.Thread)
 		rt.collector.OnRef(obj, val)
 	}
 	rt.Heap.SetRef(obj, slot, val)
@@ -392,10 +553,14 @@ func (f *Frame) PutField(obj heap.HandleID, slot int, val heap.HandleID) {
 func (f *Frame) GetField(obj heap.HandleID, slot int) heap.HandleID {
 	rt := f.rt
 	rt.step()
-	rt.collector.OnAccess(obj, f.Thread)
+	if rt.accessOn {
+		rt.collector.OnAccess(obj, f.Thread)
+	}
 	v := rt.Heap.GetRef(obj, slot)
 	if v != heap.Nil {
-		rt.collector.OnAccess(v, f.Thread)
+		if rt.accessOn {
+			rt.collector.OnAccess(v, f.Thread)
+		}
 		f.addOperand(v)
 	}
 	return v
@@ -418,7 +583,9 @@ func (f *Frame) PutStatic(slot int, val heap.HandleID) {
 	rt := f.rt
 	rt.step()
 	if val != heap.Nil {
-		rt.collector.OnAccess(val, f.Thread)
+		if rt.accessOn {
+			rt.collector.OnAccess(val, f.Thread)
+		}
 		rt.collector.OnStaticRef(val)
 	}
 	rt.statics[slot] = val
@@ -430,7 +597,9 @@ func (f *Frame) GetStatic(slot int) heap.HandleID {
 	rt.step()
 	v := rt.statics[slot]
 	if v != heap.Nil {
-		rt.collector.OnAccess(v, f.Thread)
+		if rt.accessOn {
+			rt.collector.OnAccess(v, f.Thread)
+		}
 		f.addOperand(v)
 	}
 	return v
@@ -443,7 +612,9 @@ func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
 	rt := f.rt
 	if id, ok := rt.interned[content]; ok {
 		rt.step()
-		rt.collector.OnAccess(id, f.Thread)
+		if rt.accessOn {
+			rt.collector.OnAccess(id, f.Thread)
+		}
 		f.addOperand(id)
 		return id, nil
 	}

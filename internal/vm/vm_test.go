@@ -17,9 +17,14 @@ type eventLog struct {
 	freeOn bool // if set, Collect frees everything unreachable-naively (nothing)
 }
 
-func (e *eventLog) Name() string       { return "log" }
-func (e *eventLog) Attach(rt *Runtime) { e.rt = rt }
-func (e *eventLog) add(s string)       { e.events = append(e.events, s) }
+func (e *eventLog) Name() string { return "log" }
+func (e *eventLog) Attach(rt *Runtime) {
+	e.rt = rt
+	// The log counts every pop; it arms no GCHead, so it must opt out
+	// of the Nil-GCHead pop elision.
+	rt.ForceFramePopEvents()
+}
+func (e *eventLog) add(s string) { e.events = append(e.events, s) }
 func (e *eventLog) OnAlloc(id heap.HandleID, f *Frame) {
 	e.allocs = append(e.allocs, id)
 	e.add("alloc")
@@ -283,7 +288,7 @@ func TestAllocFallbackPrecedesCollect(t *testing.T) {
 func TestGCEveryForcesCollections(t *testing.T) {
 	col := &oomCollector{}
 	rt, node, _ := newTestRT(col, 1<<16)
-	rt.GCEvery = 10
+	rt.SetGCEvery(10)
 	th := rt.NewThread(1)
 	f := th.Top()
 	for i := 0; i < 95; i++ {

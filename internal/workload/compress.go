@@ -49,9 +49,13 @@ func runCompress(rt *vm.Runtime, size int) {
 	}
 	nextCode := 256
 
-	// codes is the interpreter-side (prefixCode, byte) -> code map; it
-	// models primitive dictionary state, which carries no handles.
-	codes := make(map[uint32]int)
+	// codes is the interpreter-side (prefixCode, byte) -> code table; it
+	// models primitive dictionary state, which carries no handles. The
+	// key space is dense and bounded (prefix < lzwDictCap, byte < 256),
+	// so a flat table replaces the hash map the inner loop used to spend
+	// most of its cycles probing; 0 means absent (codes 0-255 are never
+	// stored — only fresh codes >= 256 enter the table).
+	codes := make([]int32, lzwDictCap<<8)
 
 	// Compress blocks. Block count grows slowly with size (the SPEC
 	// input is recompressed repeatedly); block length carries the real
@@ -85,8 +89,8 @@ func runCompress(rt *vm.Runtime, size int) {
 			for i := 0; i < blockLen; i++ {
 				c := byte(rng.Intn(256) & 0x3f) // skewed alphabet: real matches
 				key := uint32(prev)<<8 | uint32(c)
-				if code, ok := codes[key]; ok {
-					prev = code
+				if code := codes[key]; code != 0 {
+					prev = int(code)
 					continue
 				}
 				checksum = checksum*31 + key
@@ -100,7 +104,7 @@ func runCompress(rt *vm.Runtime, size int) {
 						f.PutField(e, 0, prefix)
 					}
 					f.PutField(dict, nextCode, e)
-					codes[key] = nextCode
+					codes[key] = int32(nextCode)
 					nextCode++
 				}
 				prev = int(c)

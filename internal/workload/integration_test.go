@@ -77,7 +77,7 @@ func TestForcedGCDuringEveryWorkload(t *testing.T) {
 			t.Run(name, func(t *testing.T) {
 				cg := core.New(core.Config{StaticOpt: true, ResetOnGC: reset, Checked: true})
 				rt := vm.New(heap.New(64<<20), cg)
-				rt.GCEvery = 700 // aggressive: several cycles per run
+				rt.SetGCEvery(700) // aggressive: several cycles per run
 				spec.Run(rt, 1)
 				if rt.GCCycles() == 0 {
 					t.Fatal("instrumentation did not fire")

@@ -1,7 +1,7 @@
 package workload
 
 import (
-	"fmt"
+	"strconv"
 
 	"repro/internal/heap"
 	"repro/internal/vm"
@@ -60,6 +60,16 @@ func runJack(rt *vm.Runtime, size int) {
 
 	tokens := 1200 * size
 	scanned := 0
+	// idNames caches the identifier lexemes: the intern keys must be
+	// the exact strings the scanner always produced, but formatting
+	// one per sighting cost more than the rest of the scan.
+	idNames := make([]string, vocab)
+	idName := func(k int) string {
+		if idNames[k] == "" {
+			idNames[k] = "id" + strconv.Itoa(k)
+		}
+		return idNames[k]
+	}
 	// nextToken: allocated in the scanner's frame, returned to the
 	// production frame — dying exactly one frame from birth.
 	nextToken := func() heap.HandleID {
@@ -79,7 +89,7 @@ func runJack(rt *vm.Runtime, size int) {
 				// the token (and any node that adopts it) into the
 				// static set: jack's 69% -> 89% optimizer delta in
 				// Fig 4.1.
-				sym, err := f.Intern(fmt.Sprintf("id%d", rng.Intn(vocab)), symCls)
+				sym, err := f.Intern(idName(rng.Intn(vocab)), symCls)
 				if err != nil {
 					panic(err)
 				}
