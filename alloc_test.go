@@ -6,24 +6,24 @@ import (
 	"repro/internal/collectors"
 )
 
-// steadySpecs is every registered collector configuration the alloc
-// regression gate runs under. The hot-path budget (§3.5: collector
-// bookkeeping costs a few machine ops per event) implies zero Go-heap
-// traffic per event once tables are warm; a new collector variant that
-// allocates per PutField shows up here, not in a profile weeks later.
-var steadySpecs = []string{
-	"cg", "cg+noopt", "cg+recycle", "cg+typed", "cg+reset",
-	"cg+packed", "msa", "gen", "none",
-}
+// The alloc gate runs under collectors.AllSpecs() — the registry-
+// grammar enumeration shared with the elision equivalence gate — so a
+// newly registered family or modifier is gated automatically. The
+// hot-path budget (§3.5: collector bookkeeping costs a few machine ops
+// per event) implies zero Go-heap traffic per event once tables are
+// warm; a new collector variant that allocates per PutField shows up
+// here, not in a profile weeks later.
 
 // TestSteadyStateEventAllocs pins PutField / GetField / Call (and the
 // operand-rooting they imply) at zero allocations per op in steady
-// state, under every collector.
+// state, under every registered collector — the events route through
+// the event-table slots the collector declared, so the gate also
+// proves the descriptor dispatch itself is allocation-free.
 func TestSteadyStateEventAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; counts are only meaningful unraced")
 	}
-	for _, spec := range steadySpecs {
+	for _, spec := range collectors.AllSpecs() {
 		t.Run(spec, func(t *testing.T) {
 			col, err := collectors.New(spec)
 			if err != nil {

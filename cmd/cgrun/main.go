@@ -8,9 +8,12 @@
 // Usage:
 //
 //	cgrun [-collector spec[,spec...]] [-heap bytes] [-workers N] [-dis] prog.jasm
+//	cgrun -list
 //
 // Collector specs are the registry's grammar: cg, cg+noopt, cg+recycle,
-// cg+recycle+reset, msa, gen, none, ... (see internal/collectors).
+// cg+recycle+reset, msa, gen, gen+promote=N, none, ... ; -list prints
+// every registered base with its description and modifier grammar (see
+// internal/collectors).
 package main
 
 import (
@@ -39,7 +42,12 @@ func main() {
 	heapBytes := flag.Int("heap", 1<<20, "arena size in bytes, per shard")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	dis := flag.Bool("dis", false, "print the disassembly instead of running")
+	list := flag.Bool("list", false, "list the registered collectors and exit")
 	flag.Parse()
+	if *list {
+		printCollectors()
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cgrun [flags] prog.jasm")
 		os.Exit(2)
@@ -84,7 +92,7 @@ func main() {
 	}
 }
 
-func runOne(prog *jasm.Program, col vm.Collector, heapBytes int) (rep report) {
+func runOne(prog *jasm.Program, ev vm.Events, heapBytes int) (rep report) {
 	// jasm surfaces OOM as an error, but a collector-internal invariant
 	// panic on a worker goroutine would otherwise kill the process and
 	// discard every other shard's report.
@@ -93,24 +101,38 @@ func runOne(prog *jasm.Program, col vm.Collector, heapBytes int) (rep report) {
 			rep = report{err: fmt.Errorf("shard panicked: %v", r)}
 		}
 	}()
-	rt := vm.New(heap.New(heapBytes), col)
+	rt := vm.New(heap.New(heapBytes), ev)
 	if _, err := prog.Bind(rt).Run(); err != nil {
 		return report{err: err}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "collector:     %s\n", col.Name())
+	fmt.Fprintf(&b, "collector:     %s\n", ev.Name)
 	fmt.Fprintf(&b, "instructions:  %d\n", rt.Instr())
 	fmt.Fprintf(&b, "gc cycles:     %d\n", rt.GCCycles())
 	hs := rt.Heap.Stats()
 	fmt.Fprintf(&b, "allocations:   %d (%d bytes)\n", hs.Allocs, hs.BytesAlloc)
 	fmt.Fprintf(&b, "frees:         %d\n", hs.Frees)
 	fmt.Fprintf(&b, "live at exit:  %d objects, %d bytes\n", rt.Heap.NumLive(), rt.Heap.Arena().InUse())
-	if cg, ok := col.(*core.CG); ok {
+	if cg, ok := ev.Collector.(*core.CG); ok {
 		s := cg.Snapshot()
 		fmt.Fprintf(&b, "cg popped:     %d  static: %d  thread: %d  msa: %d\n",
 			s.Popped, s.Static, s.Thread, s.MSA)
 	}
 	return report{text: b.String()}
+}
+
+// printCollectors renders the registry: every base name with its doc
+// line, plus the modifier grammar it accepts.
+func printCollectors() {
+	for _, name := range collectors.Names() {
+		fmt.Printf("%-6s %s\n", name, collectors.Doc(name))
+		if mods := collectors.Modifiers(name); len(mods) > 0 {
+			// Parameterised modifiers are shown by a representative
+			// instance (promote=4 stands for promote=N; see the doc
+			// line for the accepted range).
+			fmt.Printf("       modifiers (e.g.): +%s\n", strings.Join(mods, ", +"))
+		}
+	}
 }
 
 func fatal(err error) {

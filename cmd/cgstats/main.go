@@ -57,7 +57,7 @@ func main() {
 	}
 	// Reject non-CG specs before the matrix runs, not after: the tool
 	// reports CG-specific demographics.
-	if _, ok := probe.(*core.CG); !ok {
+	if _, ok := probe.Collector.(*core.CG); !ok {
 		fmt.Fprintf(os.Stderr, "cgstats: collector %q is not the contaminated collector\n", spec)
 		os.Exit(1)
 	}

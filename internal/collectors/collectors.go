@@ -18,14 +18,26 @@
 //	cg+checked       §3.1.4 tainted-list assurance checks
 //	cg+recycle+reset modifiers compose freely
 //
+// The generational baseline accepts a parameterised tenuring threshold:
+//
+//	gen              promote after 2 minor cycles (gengc.PromoteAfter)
+//	gen+promote=N    promote after N minor cycles (1-255)
+//
 // "cg-noopt" and "cg-recycle" are accepted as aliases for the spellings
 // the original cgrun flag used. Adding a collector variant is one
-// Register call; nothing else in the tree changes.
+// Register call (a parameterised family adds one RegisterNormalizer
+// call to keep store identities canonical); nothing else in the tree
+// changes. Factories return
+// vm.Events descriptors (the event-table collector ABI), not interface
+// values: what a collector subscribes to is data the registry's callers
+// can decorate before attaching.
 package collectors
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -34,10 +46,13 @@ import (
 	"repro/internal/vm"
 )
 
-// Factory builds a fresh, unattached collector. Each call must return a
-// new instance: the execution engine hands every runtime shard its own
-// collector, and sharing one across shards would race.
-type Factory func() vm.Collector
+// Factory builds the event-table descriptor of a fresh, unattached
+// collector. Each call must return a new instance (Events.Collector and
+// the slot closures must not be shared): the execution engine hands
+// every runtime shard its own collector, and sharing one across shards
+// would race. Callers may decorate the returned descriptor — the engine
+// sets Events.GCEvery per job — before handing it to vm.New/Reset.
+type Factory func() vm.Events
 
 // Builder constructs a factory for a base name given its (possibly
 // empty) modifier list. It validates the modifiers eagerly so a bad
@@ -55,12 +70,23 @@ var (
 	mu       sync.RWMutex
 	registry = make(map[string]entry)
 	aliases  = make(map[string]string)
+	// normalizers rewrite a base's raw modifier list before
+	// canonicalisation (see RegisterNormalizer), so spellings that
+	// denote the base's default configuration collapse to the bare
+	// base name — the store keys cells by canonical spec, and
+	// "gen+promote=2" must be the same identity as "gen".
+	normalizers = make(map[string]func(mods []string) []string)
 )
 
 // Register adds a collector family under name. doc is a one-line
 // description shown by Names-driven usage text; mods declares the
-// modifier names the builder accepts (the spec round-trip test and
-// usage text enumerate the grammar from them). The builder must treat
+// modifier names the builder accepts (the spec round-trip test, the
+// registry-wide gates and usage text enumerate the grammar from them).
+// A parameterised modifier is declared as one representative instance
+// ("promote=4" stands for promote=N) — the builder validates the full
+// value range, the declared instance is what enumeration-driven tests
+// exercise, and display paths should label the list as examples. The
+// builder must treat
 // modifiers as a set — order and multiplicity carry no meaning — so
 // canonicalised specs (see Spec) select the same configuration.
 // Registering a duplicate name panics: it is a wiring bug, not a
@@ -81,6 +107,26 @@ func Alias(name, spec string) {
 	aliases[name] = spec
 }
 
+// RegisterNormalizer attaches a modifier normaliser to a registered
+// base: ParseSpec runs it over the raw modifier list before
+// canonicalisation. A parameterised family uses it to collapse
+// value respellings ("promote=02" -> "promote=2") and default-valued
+// modifiers (the bare base) to one store identity. The normaliser
+// must be conservative: rewrite only modifiers it fully understands,
+// pass everything else through untouched so the builder still sees —
+// and rejects — bad or conflicting input.
+func RegisterNormalizer(name string, n func(mods []string) []string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := registry[name]; !ok {
+		panic(fmt.Sprintf("collectors: normalizer for unregistered base %q", name))
+	}
+	if _, dup := normalizers[name]; dup {
+		panic(fmt.Sprintf("collectors: duplicate normalizer for %q", name))
+	}
+	normalizers[name] = n
+}
+
 // Parse resolves spec to a validated factory. The factory may be called
 // any number of times, from any goroutine.
 func Parse(spec string) (Factory, error) {
@@ -91,11 +137,11 @@ func Parse(spec string) (Factory, error) {
 	return s.Factory()
 }
 
-// New resolves spec and builds one collector instance.
-func New(spec string) (vm.Collector, error) {
+// New resolves spec and builds one collector's event table.
+func New(spec string) (vm.Events, error) {
 	f, err := Parse(spec)
 	if err != nil {
-		return nil, err
+		return vm.Events{}, err
 	}
 	return f(), nil
 }
@@ -150,18 +196,78 @@ func buildCG(mods []string) (Factory, error) {
 			return nil, fmt.Errorf("unknown cg modifier %q (want noopt, recycle, typed, reset, packed or checked)", m)
 		}
 	}
-	return func() vm.Collector { return core.New(cfg) }, nil
+	return func() vm.Events { return core.New(cfg).Events() }, nil
+}
+
+// buildGen accepts the promote=N tenuring-threshold modifier (N minor
+// cycles before promotion; the default is gengc.PromoteAfter).
+func buildGen(mods []string) (Factory, error) {
+	promote := gengc.PromoteAfter
+	seen := false
+	for _, m := range mods {
+		val, ok := strings.CutPrefix(m, "promote=")
+		if !ok {
+			return nil, fmt.Errorf("unknown gen modifier %q (want promote=N)", m)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 || n > 255 {
+			return nil, fmt.Errorf("bad gen tenuring threshold %q (want promote=N, 1 <= N <= 255)", m)
+		}
+		if seen && n != promote {
+			return nil, fmt.Errorf("conflicting gen tenuring thresholds %d and %d", promote, n)
+		}
+		promote, seen = n, true
+	}
+	return func() vm.Events { return gengc.NewTuned(promote).Events() }, nil
 }
 
 func init() {
 	Register("cg", "the contaminated collector (§2-§3)", buildCG,
 		"noopt", "recycle", "typed", "reset", "packed", "checked")
 	Register("msa", "the traditional mark-sweep system (§4.5 base)",
-		noMods("msa", func() vm.Collector { return msa.NewSystem() }))
-	Register("gen", "the two-generation related-work baseline (§1.1)",
-		noMods("gen", func() vm.Collector { return gengc.New() }))
+		noMods("msa", func() vm.Events { return msa.NewSystem().Events() }))
+	// "promote=4" is the declared representative of the promote=N
+	// grammar (see Register's doc); buildGen accepts any N in 1-255.
+	Register("gen", "the two-generation related-work baseline (§1.1); promote=N tunes the tenuring threshold",
+		buildGen, "promote=4")
+	// Normalise promote=N modifiers by parsed value, not spelling:
+	// numeric respellings ("promote=02") collapse to one canonical
+	// form, and a lone threshold equal to the default collapses to the
+	// bare base, so both spellings share one store identity (and the
+	// collector's own Name(), which spells the default as "gen").
+	// Distinct thresholds are deliberately kept — buildGen must still
+	// see and reject the conflict — and unparseable modifiers pass
+	// through untouched for buildGen to reject.
+	RegisterNormalizer("gen", func(mods []string) []string {
+		out := mods[:0:0]
+		seen := make(map[int]bool)
+		for _, m := range mods {
+			if v, ok := strings.CutPrefix(m, "promote="); ok {
+				if n, err := strconv.Atoi(v); err == nil && n >= 1 && n <= 255 {
+					if seen[n] {
+						continue
+					}
+					seen[n] = true
+					out = append(out, fmt.Sprintf("promote=%d", n))
+					continue
+				}
+			}
+			out = append(out, m)
+		}
+		if len(seen) == 1 && seen[gengc.PromoteAfter] {
+			kept := out[:0]
+			def := fmt.Sprintf("promote=%d", gengc.PromoteAfter)
+			for _, m := range out {
+				if m != def {
+					kept = append(kept, m)
+				}
+			}
+			out = kept
+		}
+		return out
+	})
 	Register("none", "no collection: plenty-of-storage configuration (§4.5)",
-		noMods("none", func() vm.Collector { return vm.BaseCollector{} }))
+		noMods("none", vm.None))
 	Alias("cg-noopt", "cg+noopt")
 	Alias("cg-recycle", "cg+recycle")
 }

@@ -7,41 +7,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/gengc"
 	"repro/internal/msa"
-	"repro/internal/vm"
 )
 
 func TestNewBaseNames(t *testing.T) {
-	cases := []struct {
-		spec string
-		want any
-	}{
-		{"cg", (*core.CG)(nil)},
-		{"msa", (*msa.System)(nil)},
-		{"gen", (*gengc.System)(nil)},
-		{"none", vm.BaseCollector{}},
-	}
-	for _, c := range cases {
-		col, err := New(c.spec)
+	for _, spec := range []string{"cg", "msa", "gen", "none"} {
+		ev, err := New(spec)
 		if err != nil {
-			t.Fatalf("New(%q): %v", c.spec, err)
+			t.Fatalf("New(%q): %v", spec, err)
 		}
-		switch c.spec {
+		switch spec {
 		case "cg":
-			if _, ok := col.(*core.CG); !ok {
-				t.Fatalf("New(%q) = %T", c.spec, col)
+			if _, ok := ev.Collector.(*core.CG); !ok {
+				t.Fatalf("New(%q).Collector = %T", spec, ev.Collector)
 			}
 		case "msa":
-			if _, ok := col.(*msa.System); !ok {
-				t.Fatalf("New(%q) = %T", c.spec, col)
+			if _, ok := ev.Collector.(*msa.System); !ok {
+				t.Fatalf("New(%q).Collector = %T", spec, ev.Collector)
 			}
 		case "gen":
-			if _, ok := col.(*gengc.System); !ok {
-				t.Fatalf("New(%q) = %T", c.spec, col)
+			if _, ok := ev.Collector.(*gengc.System); !ok {
+				t.Fatalf("New(%q).Collector = %T", spec, ev.Collector)
 			}
 		case "none":
-			if _, ok := col.(vm.BaseCollector); !ok {
-				t.Fatalf("New(%q) = %T", c.spec, col)
+			// The empty event table has no collector behind it.
+			if ev.Collector != nil || ev.Alloc != nil || ev.Collect != nil {
+				t.Fatalf("New(%q) must be the empty table, got %+v", spec, ev)
 			}
+		}
+		if ev.Name != spec {
+			t.Fatalf("New(%q).Name = %q", spec, ev.Name)
 		}
 	}
 }
@@ -52,7 +46,7 @@ func TestCGModifiersCompose(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Name encodes the active variants (core.CG.Name's convention).
-	n := col.Name()
+	n := col.Name
 	if !strings.Contains(n, "recycle") || !strings.Contains(n, "reset") {
 		t.Fatalf("cg+recycle+reset built %q", n)
 	}
@@ -67,8 +61,8 @@ func TestLegacyAliases(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New(%q): %v", alias, err)
 		}
-		if col.Name() != wantName {
-			t.Fatalf("New(%q).Name() = %q, want %q", alias, col.Name(), wantName)
+		if col.Name != wantName {
+			t.Fatalf("New(%q).Name = %q, want %q", alias, col.Name, wantName)
 		}
 	}
 }
@@ -91,7 +85,7 @@ func TestFactoryReturnsFreshInstances(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := f(), f()
-	if a == b {
+	if a.Collector == b.Collector {
 		t.Fatal("factory must build a new collector per call")
 	}
 }
@@ -117,7 +111,7 @@ func TestAliasComposesWithModifiers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := col.Name()
+	n := col.Name
 	if !strings.Contains(n, "recycle") || !strings.Contains(n, "reset") {
 		t.Fatalf("cg-recycle+reset built %q", n)
 	}

@@ -38,12 +38,17 @@ func ParseSpec(spec string) (Spec, error) {
 		parts = append(strings.Split(canon, "+"), parts[1:]...)
 	}
 	e, ok := registry[parts[0]]
+	norm := normalizers[parts[0]]
 	mu.RUnlock()
 	if !ok {
 		return Spec{}, fmt.Errorf("collectors: unknown collector %q (have %s)",
 			parts[0], strings.Join(Names(), ", "))
 	}
-	s := Spec{Base: parts[0], Mods: canonMods(parts[1:])}
+	mods := parts[1:]
+	if norm != nil {
+		mods = norm(mods)
+	}
+	s := Spec{Base: parts[0], Mods: canonMods(mods)}
 	if _, err := e.build(s.Mods); err != nil {
 		return Spec{}, fmt.Errorf("collectors: bad spec %q: %w", spec, err)
 	}
@@ -115,9 +120,29 @@ func Canonical(spec string) (string, error) {
 }
 
 // Modifiers lists the modifier names a registered base accepts, sorted.
-// The round-trip property test enumerates the full grammar from this.
+// A parameterised modifier appears as its declared representative
+// instance (gen's "promote=4" stands for promote=N). The round-trip
+// property test and the registry-wide gates enumerate the grammar from
+// this.
 func Modifiers(name string) []string {
 	mu.RLock()
 	defer mu.RUnlock()
 	return append([]string(nil), registry[name].mods...)
+}
+
+// AllSpecs enumerates the registry grammar as concrete specs: every
+// base name, plus every base combined with each single declared
+// modifier (parameterised modifiers contribute their representative
+// instance). This is the one enumeration the registry-wide gates — the
+// steady-state allocation gate and the elision equivalence property —
+// share, so both always cover the same grammar.
+func AllSpecs() []string {
+	var specs []string
+	for _, base := range Names() {
+		specs = append(specs, base)
+		for _, mod := range Modifiers(base) {
+			specs = append(specs, base+"+"+mod)
+		}
+	}
+	return specs
 }

@@ -59,6 +59,12 @@ func TestSpecAliasesCanonicalise(t *testing.T) {
 		"cg+reset+recycle":   "cg+recycle+reset",
 		"cg+recycle+recycle": "cg+recycle",
 		"msa":                "msa",
+		// The default tenuring threshold is the plain base, whatever
+		// its numeric spelling: all must share one store identity.
+		"gen+promote=2":  "gen",
+		"gen+promote=02": "gen",
+		"gen+promote=8":  "gen+promote=8",
+		"gen+promote=08": "gen+promote=8",
 	} {
 		got, err := Canonical(raw)
 		if err != nil {
@@ -72,7 +78,13 @@ func TestSpecAliasesCanonicalise(t *testing.T) {
 
 // TestSpecRejectsBadGrammar mirrors TestErrors at the Spec layer.
 func TestSpecRejectsBadGrammar(t *testing.T) {
-	for _, bad := range []string{"quantum", "cg+warp", "msa+recycle", ""} {
+	for _, bad := range []string{
+		"quantum", "cg+warp", "msa+recycle", "",
+		// Conflicting tenuring thresholds must be rejected, including
+		// conflicts involving the default spelling.
+		"gen+promote=2+promote=3", "gen+promote=4+promote=8",
+		"gen+promote=0", "gen+promote=abc",
+	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Fatalf("ParseSpec(%q) must error", bad)
 		}

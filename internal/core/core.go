@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/heap"
 	"repro/internal/msa"
@@ -40,7 +41,7 @@ type Config struct {
 	Recycle bool
 	// TypedRecycle additionally maintains popped *singleton* sets by
 	// class, so an allocation of the same class is satisfied in O(1)
-	// instead of by first-fit search — the Chapter 6 future-work
+	// instead of through the size-class index — the Chapter 6 future-work
 	// extension ("the equilive singleton sets could be maintained 'by
 	// type' ... such object recycling could have a big payoff").
 	// Implies Recycle.
@@ -107,13 +108,17 @@ func (s *Stats) Merge(o Stats) {
 
 // objMeta is CG's per-handle metadata — the fields §3.1.1 adds to the JDK
 // handle (parent/rank live in the union-find forest; these are the rest).
+// The struct is deliberately pointer-free: OnAlloc rewrites a whole
+// entry per allocation, and a pointer field would drag a Go write
+// barrier into that hot path (the reset pass's per-object frame stamp
+// lives in the separate oldFrames scratch table, allocated only when a
+// traditional collection actually runs).
 type objMeta struct {
 	birthFrame uint64        // frame ID of the allocating method
 	birthDepth int32         // stack depth at allocation ("birth depth")
 	owner      int32         // allocating thread ID; -1 once shared
 	flags      uint8         // taint / shared bits
 	next       heap.HandleID // next object in the equilive set's list
-	oldFrame   *vm.Frame     // scratch: dependent frame before a reset pass
 }
 
 const (
@@ -132,9 +137,9 @@ type setMeta struct {
 	prev, next heap.HandleID // neighbours on the frame's set list (roots)
 }
 
-// CG is the contaminated collector. It implements vm.Collector and
-// msa.Hooks (the latter drives structure rebuilding during traditional
-// collections).
+// CG is the contaminated collector. It implements vm.Collector (its
+// Events table subscribes every slot) and msa.Hooks (the latter drives
+// structure rebuilding during traditional collections).
 type CG struct {
 	cfg  Config
 	rt   *vm.Runtime
@@ -150,36 +155,69 @@ type CG struct {
 
 	meta []objMeta
 	sets []setMeta
+	// oldFrames is reset-pass scratch, indexed like meta: each live
+	// object's dependent frame stamped at BeginCycle, consumed by
+	// Reached/EndCycle. Kept out of objMeta so demographics runs (no
+	// forced collections) never allocate it and the per-alloc meta
+	// write stays barrier-free.
+	oldFrames []*vm.Frame
 
-	recycle []recycledSet
+	// Recycled storage (§3.7), indexed by extent size class:
+	// recycleBuckets is sorted by extent size; each bucket is a LIFO
+	// of dead objects whose slab extent is exactly that many bytes.
+	// AllocFallback resolves a request with one binary search over the
+	// (few, class-bounded) distinct sizes instead of the first-fit
+	// walk over every recycled object the seed shipped — the walk made
+	// cg+recycle *slower* than cg on allocation storms (raytrace,
+	// Fig 4.12). A sorted slice, not a map: pop-time inserts run once
+	// per dead object and hashing dominated the walk it replaced.
+	// Drained buckets stay in place with their capacity, so
+	// steady-state churn costs 0 Go allocations per op.
+	recycleBuckets []sizeClassBucket
 	// byType holds recycled singleton objects keyed by class (Chapter 6
 	// typed recycling): a LIFO per class, each entry still heap-live.
 	byType map[heap.ClassID][]heap.HandleID
-	stats  Stats
+	// tab is the pooled carrier the side tables above were drawn from
+	// at Attach; detach hands them back (see tablePool).
+	tab   *tables
+	stats Stats
 }
 
-// recycledSet is a dead equilive block awaiting reuse (§3.7). Membership
-// still threads through objMeta.next, but the descriptor is copied out of
-// the sets table: the set's former representative handle may itself be
-// reused, which would otherwise clobber the descriptor.
-type recycledSet struct {
-	head heap.HandleID
-	size int32
+// tables is the recyclable allocation footprint of one CG instance:
+// every side table whose construction and growth would otherwise be
+// paid per matrix cell. The engine runs each cell on a fresh collector
+// (shards must not share mutable state), but the *capacity* behind the
+// tables is content-free once truncated — grown regions are re-zeroed
+// by the append-of-make growth paths, and MakeSet re-derives union-find
+// entries from indices — so recycling it through a pool is observably
+// identical to fresh construction (TestPooledFigureIdentity pins this
+// at the figure level). The pool fills only via Events.Detach, i.e. on
+// the engine's Reset path; a dropped runtime donates nothing.
+type tables struct {
+	meta           []objMeta
+	sets           []setMeta
+	oldFrames      []*vm.Frame
+	dsu            *unionfind.DSU
+	packed         *unionfind.Packed
+	msa            *msa.Collector
+	recycleBuckets []sizeClassBucket
+	byType         map[heap.ClassID][]heap.HandleID
 }
 
-// New returns an unattached CG collector; pass it to vm.New.
+var tablePool = sync.Pool{New: func() any { return new(tables) }}
+
+// New returns an unattached CG collector; pass it to vm.New. Side
+// tables are drawn from the pool at Attach, not here: construction is
+// cheap and a collector that never attaches owns nothing.
 func New(cfg Config) *CG {
 	if cfg.TypedRecycle {
 		cfg.Recycle = true
 	}
-	c := &CG{cfg: cfg}
-	if cfg.TypedRecycle {
-		c.byType = make(map[heap.ClassID][]heap.HandleID)
-	}
-	return c
+	return &CG{cfg: cfg}
 }
 
-// Name implements vm.Collector.
+// Name spells out the active variant configuration (the registry's
+// canonical naming convention).
 func (c *CG) Name() string {
 	n := "cg"
 	if c.cfg.Recycle {
@@ -194,21 +232,110 @@ func (c *CG) Name() string {
 	return n
 }
 
-// Attach implements vm.Collector.
+// Events implements vm.Collector: CG subscribes every slot, declares
+// the recycling fallback capability only when §3.7 recycling is
+// configured, and demands unelided access events only when the
+// cfg.Checked taint assurance needs to see every touch.
+func (c *CG) Events() vm.Events {
+	ev := vm.Events{
+		Name:      c.Name(),
+		Attach:    c.Attach,
+		Detach:    c.detach,
+		Alloc:     c.OnAlloc,
+		Ref:       c.OnRef,
+		StaticRef: c.OnStaticRef,
+		Return:    c.OnReturn,
+		FramePop:  c.OnFramePop,
+		Access:    c.OnAccess,
+		Collect:   c.Collect,
+		// Taint checking reads every access event; the runtime must
+		// not elide dispatch even while single-threaded.
+		AllAccess: c.cfg.Checked,
+		Collector: c,
+	}
+	if c.cfg.Recycle {
+		ev.AllocFallback = c.AllocFallback
+	}
+	return ev
+}
+
+// Attach binds CG to rt (the descriptor's Attach hook), drawing side
+// tables from the pool.
 func (c *CG) Attach(rt *vm.Runtime) {
 	c.rt = rt
 	c.heap = rt.Heap
-	c.msa = msa.New(rt)
-	if c.cfg.Packed {
-		c.packed = unionfind.NewPacked(0)
+	t := tablePool.Get().(*tables)
+	c.tab = t
+	if t.msa == nil {
+		t.msa = msa.New(rt)
 	} else {
-		c.dsu = unionfind.NewDSU(0)
+		t.msa.Reattach(rt)
 	}
-	if c.cfg.Checked {
-		// Taint checking reads every access event; the runtime must not
-		// elide dispatch even while single-threaded.
-		rt.ForceAccessEvents()
+	c.msa = t.msa
+	c.meta = t.meta[:0]
+	c.sets = t.sets[:0]
+	c.oldFrames = t.oldFrames[:0]
+	if c.cfg.Packed {
+		if t.packed == nil {
+			t.packed = unionfind.NewPacked(0)
+		}
+		t.packed.Truncate()
+		c.packed = t.packed
+	} else {
+		if t.dsu == nil {
+			t.dsu = unionfind.NewDSU(0)
+		}
+		t.dsu.Truncate()
+		c.dsu = t.dsu
 	}
+	if c.cfg.Recycle {
+		c.recycleBuckets = t.recycleBuckets
+	}
+	if c.cfg.TypedRecycle {
+		if t.byType == nil {
+			t.byType = make(map[heap.ClassID][]heap.HandleID)
+		}
+		c.byType = t.byType
+	}
+}
+
+// detach implements the event table's Detach capability: the runtime is
+// replacing this collector, so its side tables go back to the pool. The
+// pointer-bearing tables are cleared through their full capacity first —
+// a pooled table must not pin a dead shard's frames against the Go GC.
+// The collector must not be queried (Stats, Snapshot, events) after
+// detach; its table fields are nilled so a violation fails loudly.
+func (c *CG) detach() {
+	t := c.tab
+	if t == nil {
+		return
+	}
+	c.tab = nil
+	t.meta = c.meta[:0]
+	sets := c.sets[:cap(c.sets)]
+	clear(sets)
+	t.sets = sets[:0]
+	of := c.oldFrames[:cap(c.oldFrames)]
+	clear(of)
+	t.oldFrames = of[:0]
+	buckets := c.recycleBuckets
+	for i := range buckets {
+		buckets[i].objs = buckets[i].objs[:0]
+	}
+	if buckets != nil {
+		t.recycleBuckets = buckets
+	}
+	if c.byType != nil {
+		clear(c.byType)
+	}
+	// Unbind the pooled mark-sweep engine from the runtime too: a
+	// pooled table must not pin a dead shard's heap and arena either.
+	t.msa.Reattach(nil)
+	c.meta, c.sets, c.oldFrames = nil, nil, nil
+	c.recycleBuckets, c.byType = nil, nil
+	c.dsu, c.packed = nil, nil
+	c.msa = nil
+	tablePool.Put(t)
 }
 
 // Stats returns a copy of the counters.
@@ -323,7 +450,7 @@ func (c *CG) checkNotTainted(id heap.HandleID, op string) {
 	}
 }
 
-// OnAlloc implements vm.Collector: a fresh object forms a singleton
+// OnAlloc is the Alloc slot: a fresh object forms a singleton
 // equilive set dependent on the allocating frame.
 func (c *CG) OnAlloc(id heap.HandleID, f *vm.Frame) {
 	c.ensure(id)
@@ -347,7 +474,7 @@ func (c *CG) isStatic(root heap.HandleID) bool {
 	return c.sets[int(root)].frame.ID == 0
 }
 
-// OnRef implements vm.Collector: src now references dst, so the two
+// OnRef is the Ref slot: src now references dst, so the two
 // contaminate each other (§2.1): their sets union, and the merged set
 // depends on the older frame.
 func (c *CG) OnRef(src, dst heap.HandleID) {
@@ -392,7 +519,7 @@ func (c *CG) contaminate(x, y heap.HandleID) {
 	c.stats.Unions++
 }
 
-// OnStaticRef implements vm.Collector: dst's set becomes dependent on
+// OnStaticRef is the StaticRef slot: dst's set becomes dependent on
 // frame 0 ("the referenced object's equilive block is added to the list
 // of frame-0 dependent blocks").
 func (c *CG) OnStaticRef(dst heap.HandleID) {
@@ -404,7 +531,7 @@ func (c *CG) OnStaticRef(dst heap.HandleID) {
 	c.retarget(r, c.rt.StaticFrame())
 }
 
-// OnReturn implements vm.Collector: an object returned to its caller must
+// OnReturn is the Return slot: an object returned to its caller must
 // survive at least until the caller's frame pops ("the object's equilive
 // block is adjusted to depend on the caller's frame, unless the object is
 // already dependent on an older frame").
@@ -416,7 +543,7 @@ func (c *CG) OnReturn(val heap.HandleID, caller *vm.Frame) {
 	}
 }
 
-// OnAccess implements vm.Collector: thread-share detection (§3.3). The
+// OnAccess is the Access slot: thread-share detection (§3.3). The
 // first time an object is touched by a thread other than its allocator,
 // its whole equilive block is demoted to the static set, permanently.
 func (c *CG) OnAccess(id heap.HandleID, t *vm.Thread) {
@@ -450,7 +577,7 @@ func (c *CG) OnAccess(id heap.HandleID, t *vm.Thread) {
 	c.retarget(r, c.rt.StaticFrame())
 }
 
-// OnFramePop implements vm.Collector: every equilive set dependent on the
+// OnFramePop is the FramePop slot: every equilive set dependent on the
 // popping frame is dead. Under recycling the sets are spliced onto the
 // recycle list in O(1); otherwise each object is freed to the heap.
 func (c *CG) OnFramePop(f *vm.Frame) int {
@@ -472,6 +599,14 @@ func (c *CG) collectSet(root heap.HandleID, f *vm.Frame) {
 	s := &c.sets[int(root)]
 	c.stats.BlockSize[sizeBucket(int(s.size))]++
 	singleton := s.size == 1
+	typed := c.cfg.TypedRecycle && singleton
+	if typed {
+		// Chapter 6 typed recycling: singleton sets go to a per-class
+		// LIFO; "when a frame is popped, there would be a collection of
+		// free objects of a given type".
+		cls := c.heap.ClassOf(s.head)
+		c.byType[cls] = append(c.byType[cls], s.head)
+	}
 	for o := s.head; o != heap.Nil; {
 		m := &c.meta[int(o)]
 		next := m.next
@@ -488,24 +623,64 @@ func (c *CG) collectSet(root heap.HandleID, f *vm.Frame) {
 		if c.cfg.FreeHook != nil {
 			c.cfg.FreeHook(o)
 		}
-		if !c.cfg.Recycle {
+		switch {
+		case !c.cfg.Recycle:
 			c.heap.Free(o)
+		case !typed:
+			// The dead object joins its extent-size bucket; the walk
+			// already visits every member for the histograms, so the
+			// per-object insert costs one map access on top.
+			c.recycleAdd(o)
 		}
 		o = next
 	}
 	s.prev, s.next = heap.Nil, heap.Nil
-	if !c.cfg.Recycle {
-		return
+}
+
+// sizeClassBucket is one size class of recycled storage: every object
+// on objs is dead-but-heap-live with a slab extent of exactly size
+// bytes.
+type sizeClassBucket struct {
+	size int
+	objs []heap.HandleID
+}
+
+// bucketLowerBound returns the index of the first bucket whose size is
+// at least size (len(bs) if none) — the shared search behind both the
+// pop-time insert and the fallback's best-fit lookup.
+func bucketLowerBound(bs []sizeClassBucket, size int) int {
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bs[mid].size < size {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	if c.cfg.TypedRecycle && singleton {
-		// Chapter 6 typed recycling: singleton sets go to a per-class
-		// LIFO; "when a frame is popped, there would be a collection of
-		// free objects of a given type".
-		cls := c.heap.ClassOf(s.head)
-		c.byType[cls] = append(c.byType[cls], s.head)
-		return
+	return lo
+}
+
+// recycleBucket returns the index of size's bucket in the sorted
+// bucket list, creating it if absent.
+func (c *CG) recycleBucket(size int) int {
+	bs := c.recycleBuckets
+	lo := bucketLowerBound(bs, size)
+	if lo < len(bs) && bs[lo].size == size {
+		return lo
 	}
-	c.recycle = append(c.recycle, recycledSet{head: s.head, size: s.size})
+	c.recycleBuckets = append(c.recycleBuckets, sizeClassBucket{})
+	copy(c.recycleBuckets[lo+1:], c.recycleBuckets[lo:])
+	c.recycleBuckets[lo] = sizeClassBucket{size: size}
+	return lo
+}
+
+// recycleAdd pushes a dead-but-heap-live object onto its size-class
+// bucket.
+func (c *CG) recycleAdd(o heap.HandleID) {
+	i := c.recycleBucket(c.heap.SizeOf(o))
+	b := &c.recycleBuckets[i]
+	b.objs = append(b.objs, o)
 }
 
 // sizeBucket maps a block size to Fig 4.5's histogram buckets.
@@ -528,9 +703,8 @@ func ageBucket(d int) int {
 	return d
 }
 
-// AllocFallback implements vm.Collector: the §3.7 recycling allocator — a
-// first-fit search over the recycled sets for a dead object whose extent
-// is large enough, reused in place via heap.Reinit.
+// AllocFallback is the recycling capability (declared in the event
+// table only under cfg.Recycle): the §3.7 recycling allocator.
 func (c *CG) AllocFallback(cls heap.ClassID, extra int) (heap.HandleID, bool) {
 	if !c.cfg.Recycle {
 		return heap.Nil, false
@@ -549,37 +723,31 @@ func (c *CG) AllocFallback(cls heap.ClassID, extra int) (heap.HandleID, bool) {
 			return o, true
 		}
 	}
+	// Best fit over the size-class index: the smallest recycled extent
+	// that can hold the request, found with one binary search over the
+	// distinct sizes present — O(log #classes), not the O(objects)
+	// first-fit walk the seed paid on every storm-driven fallback.
+	// Drained buckets are skipped in place (they keep their slot and
+	// capacity for the next storm); the skip is bounded by the
+	// class-bounded bucket count, not the object count.
 	need := heap.InstanceSize(c.heap.ClassDef(cls), extra)
-	for si := 0; si < len(c.recycle); si++ {
-		s := &c.recycle[si]
-		var prev heap.HandleID
-		for o := s.head; o != heap.Nil; o = c.meta[int(o)].next {
-			if c.heap.SizeOf(o) >= need {
-				// Unlink o from the set's membership list.
-				nxt := c.meta[int(o)].next
-				if prev == heap.Nil {
-					s.head = nxt
-				} else {
-					c.meta[int(prev)].next = nxt
-				}
-				s.size--
-				if s.size == 0 {
-					c.recycle[si] = c.recycle[len(c.recycle)-1]
-					c.recycle = c.recycle[:len(c.recycle)-1]
-				}
-				if err := c.heap.Reinit(o, cls, extra); err != nil {
-					panic(err) // size was checked; a failure is a bug
-				}
-				c.stats.Reused++
-				return o, true
+	bs := c.recycleBuckets
+	for i := bucketLowerBound(bs, need); i < len(bs); i++ {
+		b := &bs[i]
+		if n := len(b.objs); n > 0 {
+			o := b.objs[n-1]
+			b.objs = b.objs[:n-1]
+			if err := c.heap.Reinit(o, cls, extra); err != nil {
+				panic(err) // size was checked; a failure is a bug
 			}
-			prev = o
+			c.stats.Reused++
+			return o, true
 		}
 	}
 	return heap.Nil, false
 }
 
-// Collect implements vm.Collector: run the traditional collector with
+// Collect is the collection capability: run the traditional collector with
 // CG's rebuild hooks attached.
 func (c *CG) Collect() int { return c.msa.Collect(c) }
 
@@ -604,11 +772,14 @@ func (c *CG) BeginCycle() {
 	// visits every frame exactly once, so no per-cycle scratch set is
 	// needed (the map this replaced allocated on every forced GC of the
 	// resetting experiment).
+	if len(c.oldFrames) < len(c.meta) {
+		c.oldFrames = append(c.oldFrames, make([]*vm.Frame, len(c.meta)-len(c.oldFrames))...)
+	}
 	c.rt.EachFrame(func(f *vm.Frame) {
 		for root := f.GCHead; root != heap.Nil; root = c.sets[int(root)].next {
 			s := &c.sets[int(root)]
 			for o := s.head; o != heap.Nil; o = c.meta[int(o)].next {
-				c.meta[int(o)].oldFrame = s.frame
+				c.oldFrames[int(o)] = s.frame
 			}
 		}
 		f.GCHead = heap.Nil
@@ -625,8 +796,8 @@ func (c *CG) Reached(id heap.HandleID, f *vm.Frame) {
 	switch {
 	case m.flags&fShared != 0:
 		nf = c.rt.StaticFrame() // sharing demotion is sticky (§3.3)
-	case !c.cfg.ResetOnGC && m.oldFrame != nil:
-		nf = m.oldFrame // preserve plain-CG conservativeness
+	case !c.cfg.ResetOnGC && int(id) < len(c.oldFrames) && c.oldFrames[int(id)] != nil:
+		nf = c.oldFrames[int(id)] // preserve plain-CG conservativeness
 	}
 	c.sets[int(id)] = setMeta{head: id, tail: id, size: 1, frame: nf}
 	c.linkSet(id)
@@ -652,18 +823,21 @@ func (c *CG) EndCycle(int) {
 		return
 	}
 	c.heap.ForEachLive(func(id heap.HandleID) {
-		m := &c.meta[int(id)]
-		if m.oldFrame == nil {
+		if int(id) >= len(c.oldFrames) {
+			return
+		}
+		old := c.oldFrames[int(id)]
+		if old == nil {
 			return
 		}
 		nf := c.sets[int(c.find(id))].frame
-		if nf.ID > m.oldFrame.ID {
+		if nf.ID > old.ID {
 			c.stats.LessLive++
-			if m.oldFrame.ID == 0 {
+			if old.ID == 0 {
 				c.stats.FromStatic++
 			}
 		}
-		m.oldFrame = nil
+		c.oldFrames[int(id)] = nil
 	})
 }
 
@@ -671,14 +845,15 @@ func (c *CG) EndCycle(int) {
 // The runtime calls Collect (which flushes) on exhaustion; experiments
 // call this at end-of-run so heap accounting balances.
 func (c *CG) FlushRecycle() {
-	for _, s := range c.recycle {
-		for o := s.head; o != heap.Nil; {
-			next := c.meta[int(o)].next
+	for i := range c.recycleBuckets {
+		b := &c.recycleBuckets[i]
+		for _, o := range b.objs {
 			c.heap.Free(o)
-			o = next
 		}
+		// Keep the drained bucket (and its capacity) in place: the
+		// next churn cycle refills it without touching the Go heap.
+		b.objs = b.objs[:0]
 	}
-	c.recycle = c.recycle[:0]
 	for cls, bucket := range c.byType {
 		for _, o := range bucket {
 			c.heap.Free(o)
@@ -687,12 +862,12 @@ func (c *CG) FlushRecycle() {
 	}
 }
 
-// RecycledObjects counts objects currently waiting on the recycle list
-// (general first-fit list plus the typed buckets).
+// RecycledObjects counts objects currently waiting as recycled storage
+// (size-class buckets plus the typed per-class buckets).
 func (c *CG) RecycledObjects() int {
 	n := 0
-	for _, s := range c.recycle {
-		n += int(s.size)
+	for _, b := range c.recycleBuckets {
+		n += len(b.objs)
 	}
 	for _, bucket := range c.byType {
 		n += len(bucket)

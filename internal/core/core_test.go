@@ -511,9 +511,10 @@ func TestRecycling(t *testing.T) {
 	}
 }
 
-// TestRecycleFirstFitSkipsSmall: reuse must pick an extent large enough,
-// skipping recycled extents that are too small.
-func TestRecycleFirstFitSkipsSmall(t *testing.T) {
+// TestRecycleBestFitSkipsSmall: reuse must pick an extent large
+// enough — the size-class index must skip recycled extents that are
+// too small and serve the smallest class that fits.
+func TestRecycleBestFitSkipsSmall(t *testing.T) {
 	h := heap.New(1 << 10)
 	small := h.DefineClass(heap.Class{Name: "S", Data: 0}) // 8 bytes
 	big := h.DefineClass(heap.Class{Name: "B", Data: 56})  // 64 bytes

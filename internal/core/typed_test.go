@@ -9,7 +9,7 @@ import (
 
 // TestTypedRecycleExactClass: the Chapter 6 extension reuses a popped
 // singleton of the same class in O(1), without consulting the general
-// first-fit list.
+// size-class index.
 func TestTypedRecycleExactClass(t *testing.T) {
 	h := heap.New(1 << 10)
 	a := h.DefineClass(heap.Class{Name: "A", Data: 8})
@@ -47,7 +47,7 @@ func TestTypedRecycleExactClass(t *testing.T) {
 }
 
 // TestTypedRecycleMultiObjectSetsUseGeneralList: only singleton sets go
-// to the typed buckets; larger blocks stay on the first-fit list.
+// to the typed buckets; larger blocks go to the size-class index.
 func TestTypedRecycleMultiObjectSetsUseGeneralList(t *testing.T) {
 	h := heap.New(1 << 10)
 	a := h.DefineClass(heap.Class{Name: "A", Refs: 1, Data: 8})

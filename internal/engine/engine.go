@@ -73,9 +73,10 @@ type Result struct {
 	// RT is the runtime shard of the last repeat. It is quiescent: no
 	// engine goroutine touches it once the job completes.
 	RT *vm.Runtime
-	// Col is the collector of the last repeat; callers type-assert it
-	// (e.g. to *core.CG) to extract statistics.
-	Col vm.Collector
+	// Col is the concrete collector of the last repeat (the event
+	// table's Collector field); callers type-assert it (e.g. to
+	// *core.CG) to extract statistics. Nil under the "none" table.
+	Col any
 	// Elapsed is the mean wall time per repeat.
 	Elapsed time.Duration
 	// Err is non-nil if the spec failed to resolve or the run panicked
@@ -151,15 +152,18 @@ func exec(job Job, pool *shardPool) (res Result) {
 	}
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		col := factory()
+		// The forced-collection instrumentation is a declarative field
+		// of the event table: decorating the descriptor replaces the
+		// old post-construction SetGCEvery call.
+		ev := factory()
+		ev.GCEvery = job.GCEvery
 		if rt == nil {
-			rt = vm.New(heap.New(bytes), col)
+			rt = vm.New(heap.New(bytes), ev)
 		} else {
-			rt.Reset(col)
+			rt.Reset(ev)
 		}
-		rt.SetGCEvery(job.GCEvery)
 		spec.Run(rt, job.Size)
-		res.RT, res.Col = rt, col
+		res.RT, res.Col = rt, ev.Collector
 	}
 	res.Elapsed = time.Since(start) / time.Duration(reps)
 	return res

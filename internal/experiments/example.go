@@ -14,11 +14,11 @@ import (
 // worked examples inspect CG-specific observables (DependentFrame), so
 // they assert the concrete type.
 func exampleCG(spec string) *core.CG {
-	col, err := collectors.New(spec)
+	ev, err := collectors.New(spec)
 	if err != nil {
 		panic(err)
 	}
-	return col.(*core.CG)
+	return ev.Collector.(*core.CG)
 }
 
 // Example21 replays the worked example of Figures 2.1 and 2.2: five

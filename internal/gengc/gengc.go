@@ -15,12 +15,15 @@
 package gengc
 
 import (
+	"fmt"
+
 	"repro/internal/heap"
 	"repro/internal/vm"
 )
 
-// PromoteAfter is the number of minor collections an object must survive
-// before promotion to the old generation.
+// PromoteAfter is the default number of minor collections an object
+// must survive before promotion to the old generation; NewTuned selects
+// other tenuring thresholds (the registry's gen+promote=N grammar).
 const PromoteAfter = 2
 
 // minorYieldNum/minorYieldDen: a minor collection that frees fewer than
@@ -51,25 +54,65 @@ func (s *Stats) Merge(o Stats) {
 }
 
 // System is the generational collector; it implements vm.Collector.
+// Its event table subscribes exactly the two slots generational
+// collection needs — Alloc (birth bookkeeping) and Ref (the write
+// barrier) — plus the Collect capability; returns, frame pops, static
+// stores and object touches cost it nothing under the event-table ABI.
 type System struct {
-	vm.BaseCollector
 	rt *vm.Runtime
 
-	old        []bool // generation bit per handle
-	survivals  []uint8
-	mark       []bool
-	remembered map[heap.HandleID]struct{} // old objects that may reference young
-	work       []heap.HandleID
-	stats      Stats
+	promoteAfter uint8  // minor-cycle survivals before tenuring
+	old          []bool // generation bit per handle
+	survivals    []uint8
+	mark         []bool
+	remembered   map[heap.HandleID]struct{} // old objects that may reference young
+	work         []heap.HandleID
+	stats        Stats
 }
 
-// New returns an unattached generational system; pass it to vm.New.
-func New() *System { return &System{remembered: make(map[heap.HandleID]struct{})} }
+// New returns an unattached generational system with the default
+// tenuring threshold; pass it to vm.New.
+func New() *System { return NewTuned(PromoteAfter) }
 
-// Name implements vm.Collector.
-func (g *System) Name() string { return "gen" }
+// NewTuned returns a generational system that promotes survivors after
+// promoteAfter minor collections — the tunable variant the registry
+// exposes as gen+promote=N. promoteAfter is clamped to [1, 255].
+func NewTuned(promoteAfter int) *System {
+	if promoteAfter < 1 {
+		promoteAfter = 1
+	}
+	if promoteAfter > 255 {
+		promoteAfter = 255
+	}
+	return &System{
+		promoteAfter: uint8(promoteAfter),
+		remembered:   make(map[heap.HandleID]struct{}),
+	}
+}
 
-// Attach implements vm.Collector.
+// Name identifies the configuration in experiment output (the
+// registry's canonical spelling: "gen", or "gen+promote=N" when tuned
+// away from the default threshold).
+func (g *System) Name() string {
+	if g.promoteAfter == PromoteAfter {
+		return "gen"
+	}
+	return fmt.Sprintf("gen+promote=%d", g.promoteAfter)
+}
+
+// Events implements vm.Collector.
+func (g *System) Events() vm.Events {
+	return vm.Events{
+		Name:      g.Name(),
+		Attach:    g.Attach,
+		Alloc:     g.OnAlloc,
+		Ref:       g.OnRef,
+		Collect:   g.Collect,
+		Collector: g,
+	}
+}
+
+// Attach binds the system to rt (the descriptor's Attach hook).
 func (g *System) Attach(rt *vm.Runtime) { g.rt = rt }
 
 // Stats returns a copy of the counters.
@@ -82,7 +125,7 @@ func (g *System) ensure(id heap.HandleID) {
 	}
 }
 
-// OnAlloc implements vm.Collector: objects are born young.
+// OnAlloc is the Alloc slot: objects are born young.
 func (g *System) OnAlloc(id heap.HandleID, _ *vm.Frame) {
 	g.ensure(id)
 	g.old[int(id)] = false
@@ -90,7 +133,7 @@ func (g *System) OnAlloc(id heap.HandleID, _ *vm.Frame) {
 	delete(g.remembered, id) // handle reuse
 }
 
-// OnRef implements vm.Collector: the write barrier. An old object
+// OnRef is the Ref slot: the write barrier. An old object
 // acquiring a reference to a young one joins the remembered set.
 func (g *System) OnRef(src, dst heap.HandleID) {
 	if g.old[int(src)] && !g.old[int(dst)] {
@@ -101,7 +144,7 @@ func (g *System) OnRef(src, dst heap.HandleID) {
 	}
 }
 
-// Collect implements vm.Collector: minor first, escalating to major when
+// Collect is the collection capability: minor first, escalating to major when
 // the minor yield is poor.
 func (g *System) Collect() int {
 	young := 0
@@ -159,7 +202,7 @@ func (g *System) minor() int {
 			freed++
 			return
 		}
-		if g.survivals[i]++; g.survivals[i] >= PromoteAfter {
+		if g.survivals[i]++; g.survivals[i] >= g.promoteAfter {
 			g.promote(id)
 		}
 	})

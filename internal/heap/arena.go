@@ -41,6 +41,14 @@ type Arena struct {
 	curIdx  int    // hint: index of the first span at/after cursor (validated before use)
 	freeIdx int    // hint: insertion index of the last Free (validated before use)
 	inUse   int    // allocated bytes
+	// maxFree is an upper bound on the largest free span: it never
+	// underestimates, so a request above it fails in O(1) instead of
+	// scanning every span to prove exhaustion. Carving never raises it,
+	// frees raise it exactly, and a failed full scan tightens it to the
+	// true maximum — the pattern that matters for §3.7 recycling, where
+	// an allocation storm drives every request down the failure path
+	// before the collector's fallback serves it.
+	maxFree int
 }
 
 // NewArena returns an arena spanning [0, size) bytes, entirely free.
@@ -48,7 +56,7 @@ func NewArena(size int) *Arena {
 	if size <= 0 {
 		panic(fmt.Sprintf("heap: non-positive arena size %d", size))
 	}
-	return &Arena{size: size, free: []span{{0, size}}}
+	return &Arena{size: size, free: []span{{0, size}}, maxFree: size}
 }
 
 // Size reports the arena's total byte capacity.
@@ -62,6 +70,7 @@ func (a *Arena) Reset() {
 	a.curIdx = 0
 	a.freeIdx = 0
 	a.inUse = 0
+	a.maxFree = a.size
 }
 
 // InUse reports currently allocated bytes.
@@ -92,14 +101,21 @@ func (a *Arena) Alloc(size int) (int, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("heap: invalid allocation size %d", size)
 	}
+	if size > a.maxFree {
+		return 0, ErrOutOfMemory
+	}
 	n := len(a.free)
 	start := a.startIndex(n)
+	largest := 0
 	for probe := 0; probe < n; probe++ {
 		i := start + probe
 		if i >= n {
 			i -= n
 		}
 		if a.free[i].size < size {
+			if a.free[i].size > largest {
+				largest = a.free[i].size
+			}
 			continue
 		}
 		addr := a.free[i].addr
@@ -117,6 +133,9 @@ func (a *Arena) Alloc(size int) (int, error) {
 		a.inUse += size
 		return addr, nil
 	}
+	// The scan visited every span, so largest is exact: tighten the
+	// bound so the rest of the storm fails without scanning.
+	a.maxFree = largest
 	return 0, ErrOutOfMemory
 }
 
@@ -150,19 +169,26 @@ func (a *Arena) Free(addr, size int) {
 	}
 	mergeLeft := i > 0 && a.free[i-1].addr+a.free[i-1].size == addr
 	mergeRight := i < len(a.free) && a.free[i].addr == addr+size
+	merged := size
 	switch {
 	case mergeLeft && mergeRight:
 		a.free[i-1].size += size + a.free[i].size
+		merged = a.free[i-1].size
 		a.free = append(a.free[:i], a.free[i+1:]...)
 	case mergeLeft:
 		a.free[i-1].size += size
+		merged = a.free[i-1].size
 	case mergeRight:
 		a.free[i].addr = addr
 		a.free[i].size += size
+		merged = a.free[i].size
 	default:
 		a.free = append(a.free, span{})
 		copy(a.free[i+1:], a.free[i:])
 		a.free[i] = span{addr, size}
+	}
+	if merged > a.maxFree {
+		a.maxFree = merged
 	}
 	a.freeIdx = i
 	a.inUse -= size
@@ -208,6 +234,9 @@ func (a *Arena) checkInvariants() error {
 	}
 	if freeSum+a.inUse != a.size {
 		return fmt.Errorf("accounting: free %d + inUse %d != size %d", freeSum, a.inUse, a.size)
+	}
+	if largest := a.LargestFree(); largest > a.maxFree {
+		return fmt.Errorf("maxFree bound %d underestimates largest free span %d", a.maxFree, largest)
 	}
 	return nil
 }

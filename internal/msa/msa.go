@@ -79,6 +79,17 @@ type Collector struct {
 // New returns a mark–sweep engine bound to rt.
 func New(rt *vm.Runtime) *Collector { return &Collector{rt: rt} }
 
+// Reattach rebinds the engine to a new runtime and zeroes its
+// counters, keeping the mark/work scratch capacity. A reattached
+// engine is observably fresh: Collect re-sizes and re-clears the mark
+// bits every cycle anyway. Pooled collectors (core's detachable
+// tables) reuse engines through this instead of allocating
+// HandleCap-sized scratch per matrix cell.
+func (m *Collector) Reattach(rt *vm.Runtime) {
+	m.rt = rt
+	m.stats = Stats{}
+}
+
 // Stats returns a copy of the counters.
 func (m *Collector) Stats() Stats { return m.stats }
 
@@ -159,22 +170,35 @@ func (m *Collector) markFrom(root heap.HandleID, f *vm.Frame, hooks Hooks) {
 }
 
 // System is the baseline "JDK 1.1.8" configuration: no incremental
-// collection, mark–sweep on demand. It implements vm.Collector.
+// collection, mark–sweep on demand. It implements vm.Collector with the
+// leanest possible event table: mark–sweep needs no per-event
+// bookkeeping at all, so it subscribes no slot and declares only the
+// Collect capability — under the event-table ABI every putfield,
+// access and frame pop under msa costs the runtime nothing.
 type System struct {
-	vm.BaseCollector
 	m *Collector
 }
 
 // NewSystem returns an unattached baseline system; pass it to vm.New.
 func NewSystem() *System { return &System{} }
 
-// Name implements vm.Collector.
+// Name identifies the system in experiment output.
 func (s *System) Name() string { return "msa" }
 
-// Attach implements vm.Collector.
+// Events implements vm.Collector.
+func (s *System) Events() vm.Events {
+	return vm.Events{
+		Name:      "msa",
+		Attach:    s.Attach,
+		Collect:   s.Collect,
+		Collector: s,
+	}
+}
+
+// Attach binds the system to rt (the descriptor's Attach hook).
 func (s *System) Attach(rt *vm.Runtime) { s.m = New(rt) }
 
-// Collect implements vm.Collector.
+// Collect is the collection capability.
 func (s *System) Collect() int { return s.m.Collect(NopHooks{}) }
 
 // Engine exposes the underlying mark–sweep engine (stats).

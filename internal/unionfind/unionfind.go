@@ -117,6 +117,14 @@ func (d *DSU) Reset(x int) {
 // RankOf exposes x's rank for tests and for the §4.4 block statistics.
 func (d *DSU) RankOf(x int) int { return int(d.rank[x]) }
 
+// Truncate empties the forest while keeping its capacity: MakeSet
+// re-derives every element from its index, so a truncated forest is
+// observably a fresh one. Pooled collectors reuse forests through it.
+func (d *DSU) Truncate() {
+	d.parent = d.parent[:0]
+	d.rank = d.rank[:0]
+}
+
 // QuickSame is a one-pass, compression-free check that x and y are
 // already in one set. It answers true only when that is certain from a
 // single parent load per element (identical elements, or identical
@@ -235,6 +243,12 @@ func (p *Packed) Reset(x int) {
 
 // RankOf exposes x's (saturating) rank for tests and statistics.
 func (p *Packed) RankOf(x int) int { return p.rankOf(x) }
+
+// Truncate empties the forest while keeping its capacity; see
+// DSU.Truncate.
+func (p *Packed) Truncate() {
+	p.word = p.word[:0]
+}
 
 // QuickSame is the one-pass same-set check; see DSU.QuickSame.
 func (p *Packed) QuickSame(x, y int) bool {

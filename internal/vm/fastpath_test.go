@@ -6,18 +6,25 @@ import (
 	"repro/internal/heap"
 )
 
-// accessLog records OnAccess dispatches, to pin down exactly when the
-// runtime elides them.
+// accessLog records Access dispatches, to pin down exactly when the
+// runtime elides them. allAccess mirrors the descriptor's AllAccess
+// capability (the declarative form of the old ForceAccessEvents).
 type accessLog struct {
-	BaseCollector
-	accesses int
+	accesses  int
+	allAccess bool
 }
 
-func (a *accessLog) Name() string                         { return "accesslog" }
-func (a *accessLog) OnAccess(id heap.HandleID, t *Thread) { a.accesses++ }
+func (a *accessLog) Events() Events {
+	return Events{
+		Name:      "accesslog",
+		Access:    func(id heap.HandleID, t *Thread) { a.accesses++ },
+		AllAccess: a.allAccess,
+		Collector: a,
+	}
+}
 
 func TestOperandRingDedupBoundsGrowth(t *testing.T) {
-	rt, node, _ := newTestRT(BaseCollector{}, 1<<20)
+	rt, node, _ := newTestRT(None(), 1<<20)
 	th := rt.NewThread(1)
 	th.CallVoid(1, func(f *Frame) {
 		obj := f.MustNew(node)
@@ -38,7 +45,7 @@ func TestOperandRingDedupBoundsGrowth(t *testing.T) {
 }
 
 func TestForgetPurgesRingAndCompacts(t *testing.T) {
-	rt, node, _ := newTestRT(BaseCollector{}, 1<<20)
+	rt, node, _ := newTestRT(None(), 1<<20)
 	th := rt.NewThread(1)
 	th.CallVoid(1, func(f *Frame) {
 		ids := make([]heap.HandleID, 8)
@@ -83,7 +90,7 @@ func TestForgetPurgesRingAndCompacts(t *testing.T) {
 // one-shot compaction. The assertion is semantic: everything is gone
 // at the end, and re-rooting afterwards still works.
 func TestForgetManyOperandsLinearish(t *testing.T) {
-	rt, node, _ := newTestRT(BaseCollector{}, 64<<20)
+	rt, node, _ := newTestRT(None(), 64<<20)
 	th := rt.NewThread(1)
 	th.CallVoid(1, func(f *Frame) {
 		const n = 20000
@@ -141,14 +148,13 @@ func TestAccessDispatchForcedByStaticFrameAlloc(t *testing.T) {
 	}
 }
 
-func TestForceAccessEvents(t *testing.T) {
-	log := &accessLog{}
+func TestAllAccessDefeatsElision(t *testing.T) {
+	log := &accessLog{allAccess: true}
 	rt, node, _ := newTestRT(log, 1<<20)
-	rt.ForceAccessEvents()
 	th := rt.NewThread(1)
 	th.CallVoid(1, func(f *Frame) { f.SetLocal(0, f.MustNew(node)) })
 	if log.accesses == 0 {
-		t.Fatal("ForceAccessEvents did not defeat single-thread elision")
+		t.Fatal("the AllAccess capability did not defeat single-thread elision")
 	}
 }
 
@@ -180,13 +186,13 @@ func TestRuntimeResetObservablyFresh(t *testing.T) {
 		return ids, frames
 	}
 
-	fresh, node, _ := newTestRT(BaseCollector{}, 1<<20)
+	fresh, node, _ := newTestRT(None(), 1<<20)
 	wantIDs, wantFrames := program(fresh, node)
 	wantInstr := fresh.Instr()
 
-	reused, node2, _ := newTestRT(BaseCollector{}, 1<<20)
+	reused, node2, _ := newTestRT(None(), 1<<20)
 	program(reused, node2)
-	reused.Reset(BaseCollector{})
+	reused.Reset(None())
 	if reused.Instr() != 0 || len(reused.Threads()) != 0 || reused.GCCycles() != 0 {
 		t.Fatal("Reset left runtime state behind")
 	}

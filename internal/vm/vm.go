@@ -4,18 +4,19 @@
 // vocabulary the contaminated collector instruments in Sun's JDK 1.1.8
 // interpreter (thesis §3.1.3):
 //
-//	object creation            -> Collector.OnAlloc
-//	putfield / aastore         -> Collector.OnRef
-//	putstatic / intern / JNI   -> Collector.OnStaticRef
-//	areturn                    -> Collector.OnReturn
-//	method return (frame pop)  -> Collector.OnFramePop
-//	any object touch           -> Collector.OnAccess (thread-share detection)
+//	object creation            -> Events.Alloc
+//	putfield / aastore         -> Events.Ref
+//	putstatic / intern / JNI   -> Events.StaticRef
+//	areturn                    -> Events.Return
+//	method return (frame pop)  -> Events.FramePop
+//	any object touch           -> Events.Access (thread-share detection)
 //
-// The runtime is collector-agnostic: a Collector implementation receives
-// the events and owns all liveness policy. Allocation failure triggers,
-// in order, the collector's recycling fallback (§3.7), a full traditional
-// collection, and only then an out-of-memory error — the same cascade the
-// JDK allocator performs.
+// The runtime is collector-agnostic: a collector declares the events it
+// wants as an Events descriptor (events.go) and owns all liveness
+// policy; unsubscribed events cost nothing. Allocation failure
+// triggers, in order, the collector's declared recycling fallback
+// (§3.7), a full traditional collection, and only then an
+// out-of-memory error — the same cascade the JDK allocator performs.
 package vm
 
 import (
@@ -23,51 +24,6 @@ import (
 
 	"repro/internal/heap"
 )
-
-// Collector receives the runtime's reference and frame-lifecycle events
-// and owns garbage-collection policy. Implementations: the contaminated
-// collector (internal/core), the traditional mark–sweep system
-// (internal/msa.System) and the generational baseline (internal/gengc).
-type Collector interface {
-	// Name identifies the collector in experiment output.
-	Name() string
-	// Attach binds the collector to a runtime before any program runs.
-	Attach(rt *Runtime)
-	// OnAlloc observes a fresh object allocated while f was the active
-	// frame ("when an object is created, it is associated with the frame
-	// of the currently active method").
-	OnAlloc(id heap.HandleID, f *Frame)
-	// OnRef observes src acquiring a reference to dst (putfield or
-	// aastore with a non-nil dst).
-	OnRef(src, dst heap.HandleID)
-	// OnStaticRef observes a static variable (or an interpreter-internal
-	// static structure such as the intern table, §3.2) acquiring a
-	// reference to dst.
-	OnStaticRef(dst heap.HandleID)
-	// OnReturn observes a method returning val to caller (areturn).
-	OnReturn(val heap.HandleID, caller *Frame)
-	// OnFramePop observes frame f popping; an incremental collector may
-	// reclaim storage here and reports how many objects it freed. The
-	// runtime elides the dispatch for frames whose GCHead is Nil — no
-	// collector-owned state depends on them — so a collector that
-	// tracks pops without arming GCHead must call
-	// Runtime.ForceFramePopEvents in Attach.
-	OnFramePop(f *Frame) int
-	// OnAccess observes thread t touching object id (thread-share
-	// detection, §3.3). The runtime elides this dispatch entirely while
-	// it can prove every call would be a no-op — a single thread owns
-	// every object it could touch (see Runtime.accessOn); a collector
-	// that inspects access events unconditionally (e.g. cg+checked's
-	// taint assurance) must call Runtime.ForceAccessEvents in Attach.
-	OnAccess(id heap.HandleID, t *Thread)
-	// AllocFallback gives the collector a chance to satisfy an
-	// allocation from recycled storage after the arena is exhausted
-	// (§3.7). ok reports whether id is a valid recycled object.
-	AllocFallback(c heap.ClassID, extra int) (id heap.HandleID, ok bool)
-	// Collect runs a full traditional collection and reports how many
-	// objects were freed.
-	Collect() int
-}
 
 // Frame is one method activation. Locals hold reference values only (the
 // runtime does not model primitive locals; they are irrelevant to GC).
@@ -117,7 +73,22 @@ const opRingSize = 4
 type Runtime struct {
 	Heap *heap.Heap
 
-	collector   Collector
+	// The bound event table, one field per slot: Attach copies the
+	// descriptor's non-nil slots here so each dispatch site is a load,
+	// a nil check and (when subscribed) a direct indirect call —
+	// no interface itab lookup on the per-event path.
+	onAlloc       func(id heap.HandleID, f *Frame)
+	onRef         func(src, dst heap.HandleID)
+	onStaticRef   func(dst heap.HandleID)
+	onReturn      func(val heap.HandleID, caller *Frame)
+	onFramePop    func(f *Frame) int
+	onAccess      func(id heap.HandleID, t *Thread)
+	allocFallback func(c heap.ClassID, extra int) (heap.HandleID, bool)
+	collect       func() int
+	detach        func()
+	name          string
+	source        any
+
 	threads     []*Thread
 	statics     []heap.HandleID
 	staticNames map[string]int
@@ -139,19 +110,30 @@ type Runtime struct {
 	gcEvery   uint64
 	countdown uint64
 
-	// popAlways, when set, dispatches OnFramePop even for frames whose
-	// GCHead is Nil (see ForceFramePopEvents).
+	// popAlways, when set, dispatches FramePop even for frames whose
+	// GCHead is Nil (the descriptor's AllPops capability; true only
+	// when a FramePop slot is bound).
 	popAlways bool
 
-	// accessOn gates OnAccess dispatch. While false the runtime has
-	// proved every OnAccess call would be a no-op: a single thread
+	// accessOn gates Access dispatch. While false the runtime has
+	// proved every Access call would be a no-op: a single thread
 	// exists and every object was allocated by it, so thread-share
 	// detection (§3.3) can observe nothing. It flips — once, and
 	// permanently — on the second NewThread or on an allocation owned
 	// by the static pseudo-frame (whose owner differs from any thread);
 	// events before the flip are exactly the ones that were provably
 	// no-ops, so eliding them is semantics-preserving (DESIGN.md §5).
+	// It can only ever flip to accessArmed: with no Access slot bound
+	// the dispatch stays elided for the life of the run.
 	accessOn bool
+	// accessArmed records whether the descriptor bound an Access slot.
+	accessArmed bool
+	// accessBroken records that the single-thread proof failed (second
+	// thread, or static-frame allocation). It is sticky for the life
+	// of the run — Reset clears it, Attach does not — so attaching a
+	// descriptor mid-run re-derives accessOn without forgetting that
+	// the elision proof is already gone.
+	accessBroken bool
 }
 
 // Thread is a green thread: a stack of frames driven directly by Go code
@@ -167,22 +149,67 @@ type Thread struct {
 	pool []*Frame
 }
 
-// New creates a runtime over h governed by c. The static pseudo-frame
-// (frame 0) is created immediately and never pops.
+// New creates a runtime over h governed by c's event table. The static
+// pseudo-frame (frame 0) is created immediately and never pops.
 func New(h *heap.Heap, c Collector) *Runtime {
 	rt := &Runtime{
 		Heap:        h,
-		collector:   c,
 		staticNames: make(map[string]int),
 		interned:    make(map[string]heap.HandleID),
 	}
 	rt.staticFrame = &Frame{ID: 0, Depth: 0, rt: rt}
-	c.Attach(rt)
+	rt.Attach(c.Events())
 	return rt
 }
 
-// Collector returns the attached collector.
-func (rt *Runtime) Collector() Collector { return rt.collector }
+// Attach binds an event table into the runtime's dispatch sites: each
+// non-nil slot is copied into its hot-path field, the capability fields
+// re-derive the elision machinery (AllAccess, AllPops) and the forced-
+// collection countdown (GCEvery) from the descriptor, and the
+// descriptor's Attach hook runs last so the collector sees a fully
+// wired runtime. New and Reset call it; attaching mid-run (only
+// meaningful for instrumentation) replaces the collector and its
+// declared capabilities but keeps heap, threads, statics and the
+// already-broken single-thread proof intact. A mid-run swap requires
+// that no live frame carries collector-armed state: a frame whose
+// GCHead the outgoing collector armed still points into that
+// collector's (now detached) tables, and the incoming collector would
+// dereference it against its own empty ones. Swapping between
+// stateful collectors mid-run is therefore unsupported — quiesce via
+// Reset instead.
+func (rt *Runtime) Attach(ev Events) {
+	// The outgoing collector is unbound first, so a pooled
+	// implementation can reclaim its side tables before the incoming
+	// one (possibly of the same family) asks for a fresh set.
+	if rt.detach != nil {
+		rt.detach()
+	}
+	rt.detach = ev.Detach
+	rt.name = ev.Name
+	rt.source = ev.Collector
+	rt.onAlloc = ev.Alloc
+	rt.onRef = ev.Ref
+	rt.onStaticRef = ev.StaticRef
+	rt.onReturn = ev.Return
+	rt.onFramePop = ev.FramePop
+	rt.onAccess = ev.Access
+	rt.allocFallback = ev.AllocFallback
+	rt.collect = ev.Collect
+	rt.accessArmed = ev.Access != nil
+	rt.accessOn = rt.accessArmed && (ev.AllAccess || rt.accessBroken)
+	rt.popAlways = ev.AllPops && ev.FramePop != nil
+	if ev.Attach != nil {
+		ev.Attach(rt)
+	}
+	rt.SetGCEvery(ev.GCEvery)
+}
+
+// CollectorName reports the bound event table's Name.
+func (rt *Runtime) CollectorName() string { return rt.name }
+
+// Collector returns the concrete collector behind the bound event
+// table (the descriptor's Collector field); nil for the empty table.
+func (rt *Runtime) Collector() any { return rt.source }
 
 // Reset returns the runtime — and its heap — to the freshly constructed
 // state over the same arena, attaching collector c in place of the old
@@ -192,7 +219,6 @@ func (rt *Runtime) Collector() Collector { return rt.collector }
 // fresh heap of the same arena size (see TestEnginePooledDeterminism).
 func (rt *Runtime) Reset(c Collector) {
 	rt.Heap.Reset()
-	rt.collector = c
 	rt.threads = rt.threads[:0]
 	rt.statics = rt.statics[:0]
 	clear(rt.staticNames)
@@ -203,9 +229,8 @@ func (rt *Runtime) Reset(c Collector) {
 	rt.instr = 0
 	rt.gcCycles = 0
 	rt.gcEvery, rt.countdown = 0, 0
-	rt.accessOn = false
-	rt.popAlways = false
-	c.Attach(rt)
+	rt.accessBroken = false
+	rt.Attach(c.Events())
 }
 
 // StaticFrame returns the immortal pseudo-frame 0.
@@ -230,19 +255,6 @@ func (rt *Runtime) SetGCEvery(n uint64) {
 // GCEvery reports the forced-collection period (0 = off).
 func (rt *Runtime) GCEvery() uint64 { return rt.gcEvery }
 
-// ForceAccessEvents makes the runtime dispatch OnAccess unconditionally
-// instead of eliding it while provably no-op. Collectors whose OnAccess
-// has effects beyond thread-share detection (cg+checked's taint
-// assurance) call this from Attach.
-func (rt *Runtime) ForceAccessEvents() { rt.accessOn = true }
-
-// ForceFramePopEvents makes the runtime dispatch OnFramePop for every
-// pop, including frames with a Nil GCHead. Collectors that track pops
-// without arming the frame's GCHead word (instrumentation, tests) call
-// this from Attach; CG does not need it — a frame it never linked a
-// dependent set to has, by construction, nothing to collect.
-func (rt *Runtime) ForceFramePopEvents() { rt.popAlways = true }
-
 // step counts one runtime operation and fires the periodic forced
 // collection used by the resetting experiment. The countdown replaces
 // the modulo the instrumentation check used to cost on every event.
@@ -257,23 +269,29 @@ func (rt *Runtime) step() {
 	}
 }
 
-// ForceCollect runs a full traditional collection immediately.
+// ForceCollect runs a full traditional collection immediately; a
+// collector with no Collect capability collects nothing.
 func (rt *Runtime) ForceCollect() int {
 	rt.gcCycles++
-	return rt.collector.Collect()
+	if rt.collect == nil {
+		return 0
+	}
+	return rt.collect()
 }
 
 // NewThread creates a thread with a root frame holding nlocals locals.
 // The second thread flips the runtime to multithreaded dispatch: from
-// here on every object touch fires OnAccess (thread-share detection can
-// now observe something). The flip is deferred semantics firing exactly
-// once — every elided event before it was a provable no-op, because the
-// sole thread owned every object it could have touched.
+// here on every object touch fires Access (thread-share detection can
+// now observe something) — provided the collector subscribed an Access
+// slot at all. The flip is deferred semantics firing exactly once —
+// every elided event before it was a provable no-op, because the sole
+// thread owned every object it could have touched.
 func (rt *Runtime) NewThread(nlocals int) *Thread {
 	t := &Thread{ID: len(rt.threads) + 1, rt: rt}
 	rt.threads = append(rt.threads, t)
 	if len(rt.threads) == 2 {
-		rt.accessOn = true
+		rt.accessBroken = true
+		rt.accessOn = rt.accessArmed
 	}
 	t.push(nlocals)
 	return t
@@ -348,15 +366,17 @@ func (t *Thread) push(nlocals int) *Frame {
 	return f
 }
 
-// pop removes t's youngest frame, firing OnFramePop when any
+// pop removes t's youngest frame, firing FramePop when any
 // collector-owned state is armed on it, and recycles it. Collectors
-// must not retain the *Frame past OnFramePop (CG's invariant: no
+// must not retain the *Frame past FramePop (CG's invariant: no
 // equilive set may depend on a popped frame).
 func (t *Thread) pop() {
 	f := t.stack[len(t.stack)-1]
 	t.stack = t.stack[:len(t.stack)-1]
 	if f.GCHead != heap.Nil || t.rt.popAlways {
-		t.rt.collector.OnFramePop(f)
+		if fp := t.rt.onFramePop; fp != nil {
+			fp(f)
+		}
 	}
 	t.pool = append(t.pool, f)
 }
@@ -385,7 +405,9 @@ func (t *Thread) Call(nlocals int, body func(f *Frame) heap.HandleID) heap.Handl
 			caller = t.rt.staticFrame
 		}
 		t.rt.step()
-		t.rt.collector.OnReturn(ret, caller)
+		if fn := t.rt.onReturn; fn != nil {
+			fn(ret, caller)
+		}
 		if caller != t.rt.staticFrame {
 			caller.addOperand(ret)
 		}
@@ -460,7 +482,7 @@ func (f *Frame) Local(i int) heap.HandleID { return f.locals[i] }
 func (f *Frame) SetLocal(i int, v heap.HandleID) {
 	f.rt.step()
 	if f.rt.accessOn && v != heap.Nil {
-		f.rt.collector.OnAccess(v, f.Thread)
+		f.rt.onAccess(v, f.Thread)
 	}
 	f.locals[i] = v
 }
@@ -485,29 +507,38 @@ func (f *Frame) alloc(c heap.ClassID, extra int) (heap.HandleID, error) {
 	if f.Thread == nil {
 		// A static-pseudo-frame allocation is owned by no thread, so
 		// the first thread to touch it must be observed as sharing:
-		// access dispatch can no longer be elided.
-		rt.accessOn = true
+		// access dispatch can no longer be elided (when subscribed).
+		rt.accessBroken = true
+		rt.accessOn = rt.accessArmed
 	}
 	id, err := rt.Heap.Alloc(c, extra)
 	if err != nil {
-		if rid, ok := rt.collector.AllocFallback(c, extra); ok {
-			rt.collector.OnAlloc(rid, f)
-			if rt.accessOn && f.Thread != nil {
-				rt.collector.OnAccess(rid, f.Thread)
+		if rt.allocFallback != nil {
+			if rid, ok := rt.allocFallback(c, extra); ok {
+				if rt.onAlloc != nil {
+					rt.onAlloc(rid, f)
+				}
+				if rt.accessOn && f.Thread != nil {
+					rt.onAccess(rid, f.Thread)
+				}
+				f.addOperand(rid)
+				return rid, nil
 			}
-			f.addOperand(rid)
-			return rid, nil
 		}
 		rt.gcCycles++
-		rt.collector.Collect()
+		if rt.collect != nil {
+			rt.collect()
+		}
 		id, err = rt.Heap.Alloc(c, extra)
 		if err != nil {
 			return heap.Nil, fmt.Errorf("vm: heap exhausted after full collection: %w", err)
 		}
 	}
-	rt.collector.OnAlloc(id, f)
+	if rt.onAlloc != nil {
+		rt.onAlloc(id, f)
+	}
 	if rt.accessOn && f.Thread != nil {
-		rt.collector.OnAccess(id, f.Thread)
+		rt.onAccess(id, f.Thread)
 	}
 	f.addOperand(id)
 	return id, nil
@@ -538,13 +569,13 @@ func (f *Frame) PutField(obj heap.HandleID, slot int, val heap.HandleID) {
 	rt := f.rt
 	rt.step()
 	if rt.accessOn {
-		rt.collector.OnAccess(obj, f.Thread)
+		rt.onAccess(obj, f.Thread)
 		if val != heap.Nil {
-			rt.collector.OnAccess(val, f.Thread)
+			rt.onAccess(val, f.Thread)
 		}
 	}
-	if val != heap.Nil {
-		rt.collector.OnRef(obj, val)
+	if val != heap.Nil && rt.onRef != nil {
+		rt.onRef(obj, val)
 	}
 	rt.Heap.SetRef(obj, slot, val)
 }
@@ -554,12 +585,12 @@ func (f *Frame) GetField(obj heap.HandleID, slot int) heap.HandleID {
 	rt := f.rt
 	rt.step()
 	if rt.accessOn {
-		rt.collector.OnAccess(obj, f.Thread)
+		rt.onAccess(obj, f.Thread)
 	}
 	v := rt.Heap.GetRef(obj, slot)
 	if v != heap.Nil {
 		if rt.accessOn {
-			rt.collector.OnAccess(v, f.Thread)
+			rt.onAccess(v, f.Thread)
 		}
 		f.addOperand(v)
 	}
@@ -584,9 +615,11 @@ func (f *Frame) PutStatic(slot int, val heap.HandleID) {
 	rt.step()
 	if val != heap.Nil {
 		if rt.accessOn {
-			rt.collector.OnAccess(val, f.Thread)
+			rt.onAccess(val, f.Thread)
 		}
-		rt.collector.OnStaticRef(val)
+		if rt.onStaticRef != nil {
+			rt.onStaticRef(val)
+		}
 	}
 	rt.statics[slot] = val
 }
@@ -598,7 +631,7 @@ func (f *Frame) GetStatic(slot int) heap.HandleID {
 	v := rt.statics[slot]
 	if v != heap.Nil {
 		if rt.accessOn {
-			rt.collector.OnAccess(v, f.Thread)
+			rt.onAccess(v, f.Thread)
 		}
 		f.addOperand(v)
 	}
@@ -613,7 +646,7 @@ func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
 	if id, ok := rt.interned[content]; ok {
 		rt.step()
 		if rt.accessOn {
-			rt.collector.OnAccess(id, f.Thread)
+			rt.onAccess(id, f.Thread)
 		}
 		f.addOperand(id)
 		return id, nil
@@ -624,7 +657,9 @@ func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
 	}
 	rt.interned[content] = id
 	rt.internedRoots = append(rt.internedRoots, id)
-	rt.collector.OnStaticRef(id)
+	if rt.onStaticRef != nil {
+		rt.onStaticRef(id)
+	}
 	return id, nil
 }
 
@@ -634,7 +669,9 @@ func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
 func (f *Frame) NativePin(id heap.HandleID) {
 	rt := f.rt
 	rt.step()
-	rt.collector.OnStaticRef(id)
+	if rt.onStaticRef != nil {
+		rt.onStaticRef(id)
+	}
 }
 
 // Statics returns the static slot values (root enumeration).

@@ -9,34 +9,37 @@ import (
 // eventLog records every collector event in order, so tests can assert
 // the runtime emits exactly the instrumentation vocabulary of §3.1.3.
 type eventLog struct {
-	BaseCollector
 	rt     *Runtime
 	events []string
 	allocs []heap.HandleID
 	pops   []uint64
-	freeOn bool // if set, Collect frees everything unreachable-naively (nothing)
 }
 
-func (e *eventLog) Name() string { return "log" }
-func (e *eventLog) Attach(rt *Runtime) {
-	e.rt = rt
-	// The log counts every pop; it arms no GCHead, so it must opt out
-	// of the Nil-GCHead pop elision.
-	rt.ForceFramePopEvents()
+// Events implements Collector: the log subscribes every reference and
+// lifecycle slot. It arms no GCHead, so it declares AllPops to opt out
+// of the Nil-GCHead pop elision.
+func (e *eventLog) Events() Events {
+	return Events{
+		Name:   "log",
+		Attach: func(rt *Runtime) { e.rt = rt },
+		Alloc: func(id heap.HandleID, f *Frame) {
+			e.allocs = append(e.allocs, id)
+			e.add("alloc")
+		},
+		Ref:       func(src, dst heap.HandleID) { e.add("ref") },
+		StaticRef: func(dst heap.HandleID) { e.add("static") },
+		Return:    func(v heap.HandleID, caller *Frame) { e.add("return") },
+		FramePop: func(f *Frame) int {
+			e.pops = append(e.pops, f.ID)
+			e.add("pop")
+			return 0
+		},
+		AllPops:   true,
+		Collector: e,
+	}
 }
+
 func (e *eventLog) add(s string) { e.events = append(e.events, s) }
-func (e *eventLog) OnAlloc(id heap.HandleID, f *Frame) {
-	e.allocs = append(e.allocs, id)
-	e.add("alloc")
-}
-func (e *eventLog) OnRef(src, dst heap.HandleID)            { e.add("ref") }
-func (e *eventLog) OnStaticRef(dst heap.HandleID)           { e.add("static") }
-func (e *eventLog) OnReturn(v heap.HandleID, caller *Frame) { e.add("return") }
-func (e *eventLog) OnFramePop(f *Frame) int {
-	e.pops = append(e.pops, f.ID)
-	e.add("pop")
-	return 0
-}
 
 func newTestRT(c Collector, arena int) (*Runtime, heap.ClassID, heap.ClassID) {
 	h := heap.New(arena)
@@ -193,17 +196,24 @@ func TestEachRootFrameOrder(t *testing.T) {
 }
 
 // oomCollector frees a designated victim when Collect is called, proving
-// the alloc cascade reaches the collector.
+// the alloc cascade reaches the collector. It declares only the Collect
+// capability — no event slot at all.
 type oomCollector struct {
-	BaseCollector
 	rt      *Runtime
 	victims []heap.HandleID
 	called  int
 }
 
-func (o *oomCollector) Name() string       { return "oom" }
-func (o *oomCollector) Attach(rt *Runtime) { o.rt = rt }
-func (o *oomCollector) Collect() int {
+func (o *oomCollector) Events() Events {
+	return Events{
+		Name:      "oom",
+		Attach:    func(rt *Runtime) { o.rt = rt },
+		Collect:   o.collect,
+		Collector: o,
+	}
+}
+
+func (o *oomCollector) collect() int {
 	o.called++
 	n := len(o.victims)
 	for _, v := range o.victims {
@@ -241,17 +251,24 @@ func TestAllocTriggersCollectOnExhaustion(t *testing.T) {
 
 // recycler satisfies allocations from a stashed dead object, proving the
 // fallback path precedes Collect (§3.7: "before it tries to run MSA").
+// It declares the AllocFallback capability alongside Collect.
 type recycler struct {
-	BaseCollector
 	rt        *Runtime
 	stash     heap.HandleID
 	collected int
 }
 
-func (r *recycler) Name() string       { return "recycler" }
-func (r *recycler) Attach(rt *Runtime) { r.rt = rt }
-func (r *recycler) Collect() int       { r.collected++; return 0 }
-func (r *recycler) AllocFallback(c heap.ClassID, extra int) (heap.HandleID, bool) {
+func (r *recycler) Events() Events {
+	return Events{
+		Name:          "recycler",
+		Attach:        func(rt *Runtime) { r.rt = rt },
+		Collect:       func() int { r.collected++; return 0 },
+		AllocFallback: r.allocFallback,
+		Collector:     r,
+	}
+}
+
+func (r *recycler) allocFallback(c heap.ClassID, extra int) (heap.HandleID, bool) {
 	if r.stash == heap.Nil {
 		return heap.Nil, false
 	}

@@ -60,7 +60,13 @@ type (
 	Frame = vm.Frame
 	// Thread is a green thread (a stack of frames).
 	Thread = vm.Thread
-	// Collector is the event interface all collectors implement.
+	// Events is the event-table collector ABI: function-valued slots
+	// plus capability fields, bound into the runtime's hot path by
+	// Runtime.Attach (unsubscribed events cost nothing).
+	Events = vm.Events
+	// Collector is anything that can describe its event subscriptions
+	// as an Events table — every collector implementation, and Events
+	// itself. The single method runs once at attach, never per event.
 	Collector = vm.Collector
 	// Engine is the sharded execution engine (worker-pool scheduler).
 	Engine = engine.Engine
@@ -94,9 +100,10 @@ func NewMarkSweep() Collector { return msa.NewSystem() }
 // related-work ablations (§1.1, §5).
 func NewGenerational() Collector { return gengc.New() }
 
-// NewCollector resolves a collector spec from the registry, e.g. "cg",
-// "cg+recycle+reset", "msa", "gen".
-func NewCollector(spec string) (Collector, error) { return collectors.New(spec) }
+// NewCollector resolves a collector spec from the registry to its
+// event table, e.g. "cg", "cg+recycle+reset", "msa", "gen",
+// "gen+promote=4".
+func NewCollector(spec string) (Events, error) { return collectors.New(spec) }
 
 // NewEngine returns a sharded execution engine; workers <= 0 selects
 // GOMAXPROCS.
