@@ -150,6 +150,46 @@ func BenchmarkWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkloadPooled is the pooled-path counterpart of
+// BenchmarkWorkload: each iteration drives the cell through a
+// persistent single-worker engine's ExecRelease, so after the warmup
+// run every iteration starts from Runtime.Reset on a pooled shard —
+// the steady state a store-backed sweep pays per cell, as opposed to
+// the cold heap/collector construction the Workload family times.
+// `cgbench -bench -pooled` emits the same cells as Workload-pooled/...
+// JSON; BENCH_seed_pooled.json is the committed baseline.
+func BenchmarkWorkloadPooled(b *testing.B) {
+	eng := engine.New(1)
+	for _, spec := range workload.All() {
+		for _, name := range []string{"cg", "cg+recycle", "msa", "gen"} {
+			if _, err := collectors.Parse(name); err != nil {
+				b.Fatal(err)
+			}
+			for _, size := range []int{1, 10} {
+				job := engine.Job{
+					Workload:  spec.Name,
+					Size:      size,
+					Collector: name,
+					HeapBytes: engine.TightHeap,
+				}
+				b.Run(spec.Name+"/"+name+"/size"+strconv.Itoa(size), func(b *testing.B) {
+					b.ReportAllocs()
+					check := func(r engine.Result) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+					eng.ExecRelease(job, check) // warm the shard pool
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						eng.ExecRelease(job, check)
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkStaticOptAblation measures the §3.4 optimization's runtime
 // cost/benefit on the benchmark it affects most (jess).
 func BenchmarkStaticOptAblation(b *testing.B) {

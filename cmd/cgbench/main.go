@@ -25,6 +25,17 @@
 //	cgbench -bench BENCH.json                          # record
 //	cgbench -bench /tmp/b.json -baseline BENCH_seed.json
 //	cgbench -bench /tmp/b.json -bench-sizes 1 -bench-time 100ms
+//
+// -pooled switches the cells to the engine's pooled execution path
+// (Runtime.Reset via ExecRelease) — what sweeps actually pay in steady
+// state, as opposed to the default cold per-iteration construction.
+// BENCH_seed_pooled.json is the committed pooled-path baseline.
+// -bench-gc-every G adds a cycle-heavy variant of every cell (a full
+// collection forced every G runtime operations, name suffix /gcG), and
+// -bench-workloads narrows the matrix:
+//
+//	cgbench -bench /tmp/b.json -pooled -baseline BENCH_seed_pooled.json
+//	cgbench -bench /tmp/b.json -pooled -bench-gc-every 2000 -bench-workloads jess
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/heap"
+	"repro/internal/msa"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -56,13 +68,34 @@ func main() {
 	benchTime := flag.Duration("bench-time", 300*time.Millisecond, "per-benchmark measurement budget for -bench")
 	benchSizes := flag.String("bench-sizes", "1,10", "comma-separated workload sizes for -bench")
 	benchCols := flag.String("bench-collectors", "cg,cg+recycle,msa,gen", "comma-separated collector specs for -bench")
+	benchWLs := flag.String("bench-workloads", "", "comma-separated workload names for -bench (empty = all)")
+	benchGCEvery := flag.Uint64("bench-gc-every", 0,
+		"also time a cycle-heavy /gcN variant of every -bench cell (full collection every N runtime ops; 0 = off)")
+	pooled := flag.Bool("pooled", false,
+		"time the engine's pooled execution path (Runtime.Reset steady state) instead of cold per-iteration construction; cells are named Workload-pooled/...")
 	baseline := flag.String("baseline", "", "baseline report to compare the -bench run against")
 	warnPct := flag.Float64("warn-pct", 15, "ns/op regression percentage that triggers a warning under -baseline")
+	traceWorkers := flag.Int("trace-workers", 0,
+		"parallel-trace worker count for hook-free collection cycles (0 = min(GOMAXPROCS, 8), 1 = sequential); output is identical for every value")
+	traceMinLive := flag.Int("trace-min-live", 0,
+		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	testing.Init()
 	flag.Parse()
+	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 
 	if *benchOut != "" {
-		if err := runBenchMode(*benchOut, *benchTime, *benchSizes, *benchCols, *baseline, *warnPct); err != nil {
+		cfg := benchConfig{
+			out:       *benchOut,
+			benchTime: *benchTime,
+			sizesCSV:  *benchSizes,
+			colsCSV:   *benchCols,
+			wlsCSV:    *benchWLs,
+			gcEvery:   *benchGCEvery,
+			pooled:    *pooled,
+			baseline:  *baseline,
+			warnPct:   *warnPct,
+		}
+		if err := runBenchMode(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "cgbench:", err)
 			os.Exit(2)
 		}
@@ -124,76 +157,155 @@ func main() {
 	}
 }
 
+// benchConfig collects the -bench mode knobs.
+type benchConfig struct {
+	out       string
+	benchTime time.Duration
+	sizesCSV  string
+	colsCSV   string
+	wlsCSV    string
+	gcEvery   uint64
+	pooled    bool
+	baseline  string
+	warnPct   float64
+}
+
 // runBenchMode times one run of every (workload, collector, size) cell
 // with testing.Benchmark — the same loop body as bench_test.go's
-// BenchmarkWorkload, so the JSON report and `go test -bench Workload`
-// measure the identical thing — writes the report to out, and
-// optionally warns against a baseline. Regressions never fail the run:
-// benchmark noise on shared CI hosts would make a hard gate flaky, so
-// the job surfaces WARN lines and humans (or the PR diff) decide.
-func runBenchMode(out string, benchTime time.Duration, sizesCSV, colsCSV, baseline string, warnPct float64) error {
-	if err := flag.Set("test.benchtime", benchTime.String()); err != nil {
+// BenchmarkWorkload / BenchmarkWorkloadPooled, so the JSON report and
+// `go test -bench Workload` measure the identical thing — writes the
+// report to out, and optionally warns against a baseline. Regressions
+// never fail the run: benchmark noise on shared CI hosts would make a
+// hard gate flaky, so the job surfaces WARN lines and humans (or the
+// PR diff) decide.
+//
+// The default family constructs a fresh heap and runtime per iteration
+// (the cold path a standalone run pays); -pooled instead drives the
+// cell through a persistent engine's ExecRelease, so after the first
+// iteration every run starts from Runtime.Reset on a pooled shard —
+// the steady state a store-backed sweep pays per cell. -bench-gc-every
+// appends a /gcN variant of each cell with a full collection forced
+// every N runtime operations: those cells spend their time in the
+// collection cycle itself rather than the mutator event path.
+func runBenchMode(cfg benchConfig) error {
+	if err := flag.Set("test.benchtime", cfg.benchTime.String()); err != nil {
 		return err
 	}
 	var sizes []int
-	for _, s := range strings.Split(sizesCSV, ",") {
+	for _, s := range strings.Split(cfg.sizesCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n < 1 {
 			return fmt.Errorf("bad -bench-sizes entry %q", s)
 		}
 		sizes = append(sizes, n)
 	}
-	report := benchfmt.NewReport(benchTime)
-	for _, spec := range workload.All() {
-		for _, col := range strings.Split(colsCSV, ",") {
+	wls := workload.All()
+	if cfg.wlsCSV != "" {
+		var picked []workload.Spec
+		for _, name := range strings.Split(cfg.wlsCSV, ",") {
+			spec, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			picked = append(picked, spec)
+		}
+		wls = picked
+	}
+	gcVariants := []uint64{0}
+	if cfg.gcEvery > 0 {
+		gcVariants = append(gcVariants, cfg.gcEvery)
+	}
+	family := "Workload"
+	if cfg.pooled {
+		family = "Workload-pooled"
+	}
+	// One single-worker engine for the whole pooled family: its shard
+	// pool is what turns per-iteration construction into Reset.
+	eng := engine.New(1)
+	report := benchfmt.NewReport(cfg.benchTime)
+	for _, spec := range wls {
+		for _, col := range strings.Split(cfg.colsCSV, ",") {
 			col = strings.TrimSpace(col)
 			mk, err := collectors.Parse(col)
 			if err != nil {
 				return err
 			}
 			for _, size := range sizes {
-				spec, size := spec, size
-				r := testing.Benchmark(func(b *testing.B) {
-					b.ReportAllocs()
-					for i := 0; i < b.N; i++ {
-						rt := vm.New(heap.New(spec.HeapBytes(size)), mk())
-						spec.Run(rt, size)
+				for _, gc := range gcVariants {
+					spec, size, gc := spec, size, gc
+					var r testing.BenchmarkResult
+					if cfg.pooled {
+						job := engine.Job{
+							Workload:  spec.Name,
+							Size:      size,
+							Collector: col,
+							HeapBytes: engine.TightHeap,
+							GCEvery:   gc,
+						}
+						r = testing.Benchmark(func(b *testing.B) {
+							b.ReportAllocs()
+							check := func(r engine.Result) {
+								if r.Err != nil {
+									b.Fatal(r.Err)
+								}
+							}
+							// Warm the shard pool so iteration 1 is not
+							// the one cold construction of the family.
+							eng.ExecRelease(job, check)
+							b.ResetTimer()
+							for i := 0; i < b.N; i++ {
+								eng.ExecRelease(job, check)
+							}
+						})
+					} else {
+						r = testing.Benchmark(func(b *testing.B) {
+							b.ReportAllocs()
+							for i := 0; i < b.N; i++ {
+								ev := mk()
+								ev.GCEvery = gc
+								rt := vm.New(heap.New(spec.HeapBytes(size)), ev)
+								spec.Run(rt, size)
+							}
+						})
 					}
-				})
-				name := fmt.Sprintf("Workload/%s/%s/size%d", spec.Name, col, size)
-				report.Add(benchfmt.Entry{
-					Name:        name,
-					Iters:       r.N,
-					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-					BytesPerOp:  r.AllocedBytesPerOp(),
-					AllocsPerOp: r.AllocsPerOp(),
-				})
-				fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %10d B/op %8d allocs/op\n",
-					name, report.Benchmarks[len(report.Benchmarks)-1].NsPerOp,
-					r.AllocedBytesPerOp(), r.AllocsPerOp())
+					name := fmt.Sprintf("%s/%s/%s/size%d", family, spec.Name, col, size)
+					if gc > 0 {
+						name = fmt.Sprintf("%s/gc%d", name, gc)
+					}
+					report.Add(benchfmt.Entry{
+						Name:        name,
+						Iters:       r.N,
+						NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+						BytesPerOp:  r.AllocedBytesPerOp(),
+						AllocsPerOp: r.AllocsPerOp(),
+					})
+					fmt.Fprintf(os.Stderr, "%-52s %12.0f ns/op %10d B/op %8d allocs/op\n",
+						name, report.Benchmarks[len(report.Benchmarks)-1].NsPerOp,
+						r.AllocedBytesPerOp(), r.AllocsPerOp())
+				}
 			}
 		}
 	}
-	if err := report.WriteFile(out); err != nil {
+	if err := report.WriteFile(cfg.out); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cgbench: wrote %d benchmarks to %s\n", len(report.Benchmarks), out)
-	if baseline == "" {
+	fmt.Fprintf(os.Stderr, "cgbench: wrote %d benchmarks to %s\n", len(report.Benchmarks), cfg.out)
+	if cfg.baseline == "" {
 		return nil
 	}
-	base, err := benchfmt.ReadFile(baseline)
+	base, err := benchfmt.ReadFile(cfg.baseline)
 	if err != nil {
 		return err
 	}
 	deltas := benchfmt.Compare(base, report)
-	regs := benchfmt.Regressions(deltas, warnPct)
+	regs := benchfmt.Regressions(deltas, cfg.warnPct)
 	for _, d := range regs {
 		fmt.Fprintf(os.Stderr, "WARN: %s regressed %.1f%% (%.0f -> %.0f ns/op)\n",
 			d.Name, d.Pct, d.Base, d.Cur)
 	}
 	if len(regs) == 0 {
 		fmt.Fprintf(os.Stderr, "cgbench: no benchmark regressed more than %.0f%% vs %s (%d compared)\n",
-			warnPct, baseline, len(deltas))
+			cfg.warnPct, cfg.baseline, len(deltas))
 	}
 	return nil
 }

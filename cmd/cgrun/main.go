@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	cgrun [-collector spec[,spec...]] [-heap bytes] [-workers N] [-dis] prog.jasm
+//	cgrun [-collector spec[,spec...]] [-heap bytes] [-gc-every N] [-workers N] [-dis] prog.jasm
 //	cgrun -list
 //
 // Collector specs are the registry's grammar: cg, cg+noopt, cg+recycle,
@@ -27,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/heap"
 	"repro/internal/jasm"
+	"repro/internal/msa"
 	"repro/internal/vm"
 )
 
@@ -40,10 +41,17 @@ func main() {
 	collector := flag.String("collector", "cg",
 		fmt.Sprintf("comma-separated collector specs (bases: %s)", strings.Join(collectors.Names(), ", ")))
 	heapBytes := flag.Int("heap", 1<<20, "arena size in bytes, per shard")
+	gcEvery := flag.Uint64("gc-every", 0,
+		"force a full collection every N runtime operations (0 = only on exhaustion; the §4.7 instrumentation)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	dis := flag.Bool("dis", false, "print the disassembly instead of running")
 	list := flag.Bool("list", false, "list the registered collectors and exit")
+	traceWorkers := flag.Int("trace-workers", 0,
+		"parallel-trace worker count for hook-free collection cycles (0 = min(GOMAXPROCS, 8), 1 = sequential); output is identical for every value")
+	traceMinLive := flag.Int("trace-min-live", 0,
+		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	flag.Parse()
+	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 	if *list {
 		printCollectors()
 		return
@@ -79,7 +87,9 @@ func main() {
 	// is shared read-only (Bind builds per-shard state).
 	reports := make([]report, len(specs))
 	engine.New(*workers).Do(len(specs), func(i int) {
-		reports[i] = runOne(prog, factories[i](), *heapBytes)
+		ev := factories[i]()
+		ev.GCEvery = *gcEvery
+		reports[i] = runOne(prog, ev, *heapBytes)
 	})
 	for i, r := range reports {
 		if r.err != nil {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/msa"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/workload"
@@ -36,9 +37,14 @@ func main() {
 	noopt := flag.Bool("noopt", false, "disable the §3.4 static optimization (alias for -collector cg+noopt)")
 	bench := flag.String("bench", "", "run a single benchmark (default: all)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	traceWorkers := flag.Int("trace-workers", 0,
+		"parallel-trace worker count for hook-free collection cycles (0 = min(GOMAXPROCS, 8), 1 = sequential); output is identical for every value")
+	traceMinLive := flag.Int("trace-min-live", 0,
+		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	maxHeap := flag.String("max-heap-bytes", "0",
 		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
 	flag.Parse()
+	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 
 	heapCap, err := engine.ParseByteSize(*maxHeap)
 	if err != nil {

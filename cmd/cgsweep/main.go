@@ -36,6 +36,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/msa"
 	"repro/internal/results"
 )
 
@@ -45,9 +46,14 @@ func main() {
 	workers := flag.Int("workers", 0, "engine workers per process (0 = GOMAXPROCS; with -procs, per child)")
 	storeDir := flag.String("store", "", "results store directory; completed cells are persisted and resumed")
 	workerCmd := flag.String("worker", "", "cgworker binary for -procs (default: beside cgsweep, then $PATH)")
+	traceWorkers := flag.Int("trace-workers", 0,
+		"parallel-trace worker count for hook-free collection cycles, forwarded to -procs children (0 = min(GOMAXPROCS, 8), 1 = sequential; pass 1 when the sweep already saturates the cores); output is identical for every value")
+	traceMinLive := flag.Int("trace-min-live", 0,
+		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	maxHeap := flag.String("max-heap-bytes", "0",
 		"aggregate arena cap for concurrently admitted cells, per process (e.g. 2GiB; 0 = unlimited)")
 	flag.Parse()
+	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 
 	var ids []string
 	if *figsFlag != "" {
@@ -77,7 +83,8 @@ func main() {
 			// it procs-fold.
 			perChild = (engine.New(0).Workers() + *procs - 1) / *procs
 		}
-		argv := []string{bin, "-workers", strconv.Itoa(perChild), "-max-heap-bytes", strconv.FormatInt(heapCap, 10)}
+		argv := []string{bin, "-workers", strconv.Itoa(perChild), "-max-heap-bytes", strconv.FormatInt(heapCap, 10),
+			"-trace-workers", strconv.Itoa(*traceWorkers), "-trace-min-live", strconv.Itoa(*traceMinLive)}
 		backend = &dist.Coordinator{Spawn: dist.Command(argv, os.Stderr), Procs: *procs}
 	} else {
 		backend = results.Local{Eng: engine.New(*workers).SetMaxHeapBytes(heapCap)}

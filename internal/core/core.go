@@ -138,8 +138,9 @@ type setMeta struct {
 }
 
 // CG is the contaminated collector. It implements vm.Collector (its
-// Events table subscribes every slot) and msa.Hooks (the latter drives
-// structure rebuilding during traditional collections).
+// Events table subscribes every slot) and observes the collection
+// cycle through an msa.Cycle descriptor (which drives structure
+// rebuilding during traditional collections).
 type CG struct {
 	cfg  Config
 	rt   *vm.Runtime
@@ -165,6 +166,8 @@ type CG struct {
 	// Recycled storage (§3.7), indexed by extent size class:
 	// recycleBuckets is sorted by extent size; each bucket is a LIFO
 	// of dead objects whose slab extent is exactly that many bytes.
+	// spare feeds bucket creation with recycled scratch slices (see
+	// tables.spare).
 	// AllocFallback resolves a request with one binary search over the
 	// (few, class-bounded) distinct sizes instead of the first-fit
 	// walk over every recycled object the seed shipped — the walk made
@@ -174,12 +177,18 @@ type CG struct {
 	// Drained buckets stay in place with their capacity, so
 	// steady-state churn costs 0 Go allocations per op.
 	recycleBuckets []sizeClassBucket
+	spare          [][]heap.HandleID
 	// byType holds recycled singleton objects keyed by class (Chapter 6
 	// typed recycling): a LIFO per class, each entry still heap-live.
 	byType map[heap.ClassID][]heap.HandleID
 	// tab is the pooled carrier the side tables above were drawn from
 	// at Attach; detach hands them back (see tablePool).
-	tab   *tables
+	tab *tables
+	// cycle is CG's subscription to the collection cycle, built once at
+	// Attach: the §3.6 rebuild slots always, the End accounting slot
+	// only under ResetOnGC — an unsubscribed slot costs the mark loop
+	// nothing (see msa.Cycle).
+	cycle msa.Cycle
 	stats Stats
 }
 
@@ -201,8 +210,22 @@ type tables struct {
 	packed         *unionfind.Packed
 	msa            *msa.Collector
 	recycleBuckets []sizeClassBucket
-	byType         map[heap.ClassID][]heap.HandleID
+	// spare holds the recycle buckets' scratch slices between cells.
+	// The bucket list itself is truncated at detach — one workload's
+	// size classes mean nothing to the next, and the list used to grow
+	// monotonically across a sweep — so the capacity behind the
+	// drained buckets is pooled here *shared across size classes*
+	// (capped at maxSpare) instead of staying pinned per class at each
+	// class's own high-water mark.
+	spare  [][]heap.HandleID
+	byType map[heap.ClassID][]heap.HandleID
 }
+
+// maxSpare bounds the recycle-scratch slices a pooled table retains: a
+// long sweep's worst cell stops dictating every later cell's idle
+// footprint, while typical cells (a handful of size classes) still
+// recycle every slice they need.
+const maxSpare = 32
 
 var tablePool = sync.Pool{New: func() any { return new(tables) }}
 
@@ -290,12 +313,22 @@ func (c *CG) Attach(rt *vm.Runtime) {
 	}
 	if c.cfg.Recycle {
 		c.recycleBuckets = t.recycleBuckets
+		c.spare = t.spare
 	}
 	if c.cfg.TypedRecycle {
 		if t.byType == nil {
 			t.byType = make(map[heap.ClassID][]heap.HandleID)
 		}
 		c.byType = t.byType
+	}
+	c.cycle = msa.Cycle{
+		Begin:    c.beginCycle,
+		Reached:  c.reached,
+		Edge:     c.edge,
+		WillFree: c.willFree,
+	}
+	if c.cfg.ResetOnGC {
+		c.cycle.End = c.endCycle
 	}
 }
 
@@ -318,12 +351,22 @@ func (c *CG) detach() {
 	of := c.oldFrames[:cap(c.oldFrames)]
 	clear(of)
 	t.oldFrames = of[:0]
+	// Recycle buckets: truncate the size-class list (it never shrinks
+	// within a run and one cell's classes mean nothing to the next) and
+	// return each bucket's scratch slice to the shared spare pool, so a
+	// peak-size cell's scratch is redistributed rather than pinned per
+	// size class forever.
 	buckets := c.recycleBuckets
+	spare := c.spare
 	for i := range buckets {
-		buckets[i].objs = buckets[i].objs[:0]
+		if objs := buckets[i].objs; cap(objs) > 0 && len(spare) < maxSpare {
+			spare = append(spare, objs[:0])
+		}
+		buckets[i] = sizeClassBucket{}
 	}
 	if buckets != nil {
-		t.recycleBuckets = buckets
+		t.recycleBuckets = buckets[:0]
+		t.spare = spare
 	}
 	if c.byType != nil {
 		clear(c.byType)
@@ -332,7 +375,7 @@ func (c *CG) detach() {
 	// pooled table must not pin a dead shard's heap and arena either.
 	t.msa.Reattach(nil)
 	c.meta, c.sets, c.oldFrames = nil, nil, nil
-	c.recycleBuckets, c.byType = nil, nil
+	c.recycleBuckets, c.spare, c.byType = nil, nil, nil
 	c.dsu, c.packed = nil, nil
 	c.msa = nil
 	tablePool.Put(t)
@@ -662,16 +705,24 @@ func bucketLowerBound(bs []sizeClassBucket, size int) int {
 }
 
 // recycleBucket returns the index of size's bucket in the sorted
-// bucket list, creating it if absent.
+// bucket list, creating it if absent. A new bucket draws its scratch
+// slice from the shared spare pool (filled at detach), so pooled-shard
+// cells build their size classes without touching the Go allocator.
 func (c *CG) recycleBucket(size int) int {
 	bs := c.recycleBuckets
 	lo := bucketLowerBound(bs, size)
 	if lo < len(bs) && bs[lo].size == size {
 		return lo
 	}
+	var objs []heap.HandleID
+	if n := len(c.spare); n > 0 {
+		objs = c.spare[n-1]
+		c.spare[n-1] = nil
+		c.spare = c.spare[:n-1]
+	}
 	c.recycleBuckets = append(c.recycleBuckets, sizeClassBucket{})
 	copy(c.recycleBuckets[lo+1:], c.recycleBuckets[lo:])
-	c.recycleBuckets[lo] = sizeClassBucket{size: size}
+	c.recycleBuckets[lo] = sizeClassBucket{size: size, objs: objs}
 	return lo
 }
 
@@ -747,11 +798,11 @@ func (c *CG) AllocFallback(cls heap.ClassID, extra int) (heap.HandleID, bool) {
 	return heap.Nil, false
 }
 
-// Collect is the collection capability: run the traditional collector with
-// CG's rebuild hooks attached.
-func (c *CG) Collect() int { return c.msa.Collect(c) }
+// Collect is the collection capability: run the traditional collector
+// with CG's cycle subscription attached.
+func (c *CG) Collect() int { return c.msa.Collect(c.cycle) }
 
-// --- msa.Hooks: structure rebuilding during traditional collection ---
+// --- msa.Cycle slots: structure rebuilding during traditional collection ---
 //
 // Whether or not ResetOnGC is enabled, CG must rebuild its side
 // structures during a full collection: the sweep frees objects CG still
@@ -760,10 +811,12 @@ func (c *CG) Collect() int { return c.msa.Collect(c) }
 // to reach an object is the oldest frame referencing it. With ResetOnGC
 // the object adopts that frame (the §3.6 improvement); without it the
 // object keeps its previous dependent frame, preserving plain-CG
-// conservativeness while still purging dead entries.
+// conservativeness while still purging dead entries. Because the Edge
+// slot is order-sensitive under the §3.4 static optimization, a cycle
+// carrying these slots always runs msa's sequential mark.
 
-// BeginCycle implements msa.Hooks.
-func (c *CG) BeginCycle() {
+// beginCycle is the Begin slot.
+func (c *CG) beginCycle() {
 	// Recycled storage is definitively dead: release it to the heap so
 	// the sweep's accounting sees only MSA-discovered garbage.
 	c.FlushRecycle()
@@ -786,9 +839,9 @@ func (c *CG) BeginCycle() {
 	})
 }
 
-// Reached implements msa.Hooks: a live object becomes a fresh singleton
+// reached is the Reached slot: a live object becomes a fresh singleton
 // set on its (possibly improved) dependent frame.
-func (c *CG) Reached(id heap.HandleID, f *vm.Frame) {
+func (c *CG) reached(id heap.HandleID, f *vm.Frame) {
 	c.resetElem(id)
 	m := &c.meta[int(id)]
 	m.next = heap.Nil
@@ -803,25 +856,22 @@ func (c *CG) Reached(id heap.HandleID, f *vm.Frame) {
 	c.linkSet(id)
 }
 
-// Edge implements msa.Hooks: connected live objects re-contaminate, so
+// edge is the Edge slot: connected live objects re-contaminate, so
 // the rebuilt partition obeys the same older-frame rule.
-func (c *CG) Edge(src, dst heap.HandleID) {
+func (c *CG) edge(src, dst heap.HandleID) {
 	c.contaminate(src, dst)
 }
 
-// WillFree implements msa.Hooks: the object dropped out of CG's
+// willFree is the WillFree slot: the object dropped out of CG's
 // structures and is collected by the sweep (Fig 4.11 "collected by MSA").
-func (c *CG) WillFree(id heap.HandleID) {
+func (c *CG) willFree(id heap.HandleID) {
 	c.meta[int(id)].flags |= fTainted
 	c.stats.MSAFreed++
 }
 
-// EndCycle implements msa.Hooks: under ResetOnGC, measure how many
-// objects became "less live" than CG believed (Fig 4.11).
-func (c *CG) EndCycle(int) {
-	if !c.cfg.ResetOnGC {
-		return
-	}
+// endCycle is the End slot, subscribed only under ResetOnGC: measure
+// how many objects became "less live" than CG believed (Fig 4.11).
+func (c *CG) endCycle(int) {
 	c.heap.ForEachLive(func(id heap.HandleID) {
 		if int(id) >= len(c.oldFrames) {
 			return
@@ -940,7 +990,4 @@ func (c *CG) Snapshot() Breakdown {
 	return b
 }
 
-var (
-	_ vm.Collector = (*CG)(nil)
-	_ msa.Hooks    = (*CG)(nil)
-)
+var _ vm.Collector = (*CG)(nil)

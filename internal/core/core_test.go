@@ -751,3 +751,53 @@ func TestBreakdownMerge(t *testing.T) {
 		t.Fatalf("Breakdown.Merge = %+v", a)
 	}
 }
+
+// TestDetachReturnsRecycleScratch pins the recycle-bucket detach
+// contract: when a pooled shard replaces its collector, the size-class
+// list is truncated (one cell's classes mean nothing to the next — and
+// the list used to grow monotonically across a sweep) and each
+// drained bucket's scratch slice moves to the shared spare pool
+// instead of staying pinned to its size class; subsequent bucket
+// creation draws from that pool.
+func TestDetachReturnsRecycleScratch(t *testing.T) {
+	h := heap.New(1 << 16)
+	small := h.DefineClass(heap.Class{Name: "S", Refs: 1, Data: 0})
+	big := h.DefineClass(heap.Class{Name: "B", Refs: 2, Data: 64})
+	cg := New(Config{StaticOpt: true, Recycle: true})
+	rt := vm.New(h, cg)
+	th := rt.NewThread(0)
+	// Two size classes' worth of dead objects.
+	th.CallVoid(2, func(f *vm.Frame) {
+		for i := 0; i < 16; i++ {
+			f.SetLocal(0, f.MustNew(small))
+			f.SetLocal(1, f.MustNew(big))
+		}
+	})
+	if got := len(cg.recycleBuckets); got != 2 {
+		t.Fatalf("size classes = %d, want 2", got)
+	}
+	for _, b := range cg.recycleBuckets {
+		if len(b.objs) == 0 {
+			t.Fatalf("bucket %d empty before detach", b.size)
+		}
+	}
+	tab := cg.tab
+	rt.Reset(New(Config{StaticOpt: true, Recycle: true})) // fires detach
+	if len(tab.recycleBuckets) != 0 {
+		t.Fatalf("pooled bucket list not truncated: %d entries", len(tab.recycleBuckets))
+	}
+	if cap(tab.recycleBuckets) == 0 {
+		t.Fatal("pooled bucket list lost its capacity")
+	}
+	if len(tab.spare) != 2 {
+		t.Fatalf("spare scratch slices = %d, want 2", len(tab.spare))
+	}
+	for i, s := range tab.spare {
+		if len(s) != 0 || cap(s) == 0 {
+			t.Fatalf("spare[%d]: len %d cap %d, want empty with capacity", i, len(s), cap(s))
+		}
+	}
+	if cg.recycleBuckets != nil || cg.spare != nil {
+		t.Fatal("detached collector still holds recycle scratch")
+	}
+}

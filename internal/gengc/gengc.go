@@ -16,6 +16,8 @@ package gengc
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/heap"
 	"repro/internal/vm"
@@ -64,11 +66,28 @@ type System struct {
 	promoteAfter uint8  // minor-cycle survivals before tenuring
 	old          []bool // generation bit per handle
 	survivals    []uint8
-	mark         []bool
+	mark         heap.Bitset                // word-packed mark scratch
 	remembered   map[heap.HandleID]struct{} // old objects that may reference young
 	work         []heap.HandleID
+	tab          *genTables // pooled carrier the tables came from
 	stats        Stats
 }
+
+// genTables is the recyclable allocation footprint of one generational
+// system — generation bits, survival counters, mark scratch, the
+// remembered set and the DFS stack — pooled across matrix cells
+// through the event table's Detach path, mirroring core's table pool.
+type genTables struct {
+	old        []bool
+	survivals  []uint8
+	mark       heap.Bitset
+	remembered map[heap.HandleID]struct{}
+	work       []heap.HandleID
+}
+
+var genTablePool = sync.Pool{New: func() any {
+	return &genTables{remembered: make(map[heap.HandleID]struct{})}
+}}
 
 // New returns an unattached generational system with the default
 // tenuring threshold; pass it to vm.New.
@@ -76,7 +95,8 @@ func New() *System { return NewTuned(PromoteAfter) }
 
 // NewTuned returns a generational system that promotes survivors after
 // promoteAfter minor collections — the tunable variant the registry
-// exposes as gen+promote=N. promoteAfter is clamped to [1, 255].
+// exposes as gen+promote=N. promoteAfter is clamped to [1, 255]. The
+// side tables are drawn from the pool at Attach, not here.
 func NewTuned(promoteAfter int) *System {
 	if promoteAfter < 1 {
 		promoteAfter = 1
@@ -84,10 +104,7 @@ func NewTuned(promoteAfter int) *System {
 	if promoteAfter > 255 {
 		promoteAfter = 255
 	}
-	return &System{
-		promoteAfter: uint8(promoteAfter),
-		remembered:   make(map[heap.HandleID]struct{}),
-	}
+	return &System{promoteAfter: uint8(promoteAfter)}
 }
 
 // Name identifies the configuration in experiment output (the
@@ -105,6 +122,7 @@ func (g *System) Events() vm.Events {
 	return vm.Events{
 		Name:      g.Name(),
 		Attach:    g.Attach,
+		Detach:    g.detach,
 		Alloc:     g.OnAlloc,
 		Ref:       g.OnRef,
 		Collect:   g.Collect,
@@ -112,8 +130,43 @@ func (g *System) Events() vm.Events {
 	}
 }
 
-// Attach binds the system to rt (the descriptor's Attach hook).
-func (g *System) Attach(rt *vm.Runtime) { g.rt = rt }
+// Attach binds the system to rt (the descriptor's Attach hook),
+// drawing side tables from the pool. Truncated tables are observably
+// fresh: ensure regrows old/survivals with explicit zero values and
+// the remembered map was cleared at detach.
+func (g *System) Attach(rt *vm.Runtime) {
+	g.rt = rt
+	t := genTablePool.Get().(*genTables)
+	g.tab = t
+	g.old = t.old[:0]
+	g.survivals = t.survivals[:0]
+	g.mark = t.mark
+	g.remembered = t.remembered
+	g.work = t.work
+}
+
+// detach implements the event table's Detach capability: the runtime
+// is replacing this collector, so its side tables go back to the pool.
+// The system must not be queried afterwards; fields are nilled so a
+// violation fails loudly. None of the tables carries pointers into the
+// shard (handle IDs are indices), so pooling pins nothing.
+func (g *System) detach() {
+	t := g.tab
+	if t == nil {
+		return
+	}
+	g.tab = nil
+	t.old = g.old[:0]
+	t.survivals = g.survivals[:0]
+	t.mark = g.mark
+	t.work = g.work[:0]
+	clear(g.remembered)
+	t.remembered = g.remembered
+	g.rt = nil
+	g.old, g.survivals, g.mark = nil, nil, nil
+	g.remembered, g.work = nil, nil
+	genTablePool.Put(t)
+}
 
 // Stats returns a copy of the counters.
 func (g *System) Stats() Stats { return g.stats }
@@ -161,14 +214,7 @@ func (g *System) Collect() int {
 }
 
 func (g *System) resetMarks() {
-	cap := g.rt.Heap.HandleCap()
-	if len(g.mark) < cap {
-		g.mark = make([]bool, cap)
-		return
-	}
-	for i := range g.mark {
-		g.mark[i] = false
-	}
+	g.mark.Reset(g.rt.Heap.HandleCap())
 }
 
 // minor collects the young generation only.
@@ -197,7 +243,7 @@ func (g *System) minor() int {
 		if g.old[i] {
 			return
 		}
-		if !g.mark[i] {
+		if !g.mark.Has(i) {
 			h.Free(id)
 			freed++
 			return
@@ -213,18 +259,18 @@ func (g *System) minor() int {
 // markYoung marks young objects reachable from id without crossing into
 // the old generation (old→young edges are covered by the remembered set).
 func (g *System) markYoung(id heap.HandleID) {
-	if g.old[int(id)] || g.mark[int(id)] {
+	if g.old[int(id)] || g.mark.Has(int(id)) {
 		return
 	}
 	h := g.rt.Heap
-	g.mark[int(id)] = true
+	g.mark.Set(int(id))
 	g.work = append(g.work[:0], id)
 	for len(g.work) > 0 {
 		src := g.work[len(g.work)-1]
 		g.work = g.work[:len(g.work)-1]
 		for _, dst := range h.RefSlots(src) {
-			if dst != heap.Nil && !g.old[int(dst)] && !g.mark[int(dst)] {
-				g.mark[int(dst)] = true
+			if dst != heap.Nil && !g.old[int(dst)] && !g.mark.Has(int(dst)) {
+				g.mark.Set(int(dst))
 				g.work = append(g.work, dst)
 			}
 		}
@@ -263,14 +309,22 @@ func (g *System) major() int {
 			}
 		}
 	})
+	// Word-at-a-time sweep: garbage in a 64-handle window is one
+	// live&^mark (the same find-next-zero walk the msa sweep performs).
 	freed := 0
-	h.ForEachLive(func(id heap.HandleID) {
-		if !g.mark[int(id)] {
+	live := h.LiveWords()
+	for k, lw := range live {
+		garbage := lw &^ g.mark[k]
+		base := k << 6
+		// No per-object remembered-set delete here: the rebuild below
+		// clears the whole map before repopulating it.
+		for garbage != 0 {
+			id := heap.HandleID(base + bits.TrailingZeros64(garbage))
+			garbage &= garbage - 1
 			h.Free(id)
-			delete(g.remembered, id)
 			freed++
 		}
-	})
+	}
 	g.stats.FreedOld += uint64(freed)
 	// Rebuild the remembered set exactly.
 	for k := range g.remembered {
@@ -295,18 +349,18 @@ func (g *System) major() int {
 
 // markAll marks everything reachable from id across both generations.
 func (g *System) markAll(id heap.HandleID) {
-	if g.mark[int(id)] {
+	if g.mark.Has(int(id)) {
 		return
 	}
 	h := g.rt.Heap
-	g.mark[int(id)] = true
+	g.mark.Set(int(id))
 	g.work = append(g.work[:0], id)
 	for len(g.work) > 0 {
 		src := g.work[len(g.work)-1]
 		g.work = g.work[:len(g.work)-1]
 		for _, dst := range h.RefSlots(src) {
-			if dst != heap.Nil && !g.mark[int(dst)] {
-				g.mark[int(dst)] = true
+			if dst != heap.Nil && !g.mark.Has(int(dst)) {
+				g.mark.Set(int(dst))
 				g.work = append(g.work, dst)
 			}
 		}

@@ -1,0 +1,48 @@
+package heap
+
+import "math/bits"
+
+// Bitset is a word-packed bit vector over handle IDs — the mark/live
+// scratch representation of the collection cycle. One cache line holds
+// 512 handles' worth of bits (the byte-wide []bool it replaced held
+// 64), and the sweep consumes it word-at-a-time: garbage in a 64-handle
+// window is one AND-NOT and a TrailingZeros loop instead of 64 loads
+// and branches.
+type Bitset []uint64
+
+// BitsetWords reports the number of uint64 words needed to cover n
+// bits.
+func BitsetWords(n int) int { return (n + 63) >> 6 }
+
+// Reset sizes b to cover n bits and zeroes every covered word, reusing
+// capacity. The whole new length is cleared unconditionally, so a
+// pooled bitset shrunk and re-grown across uses can never leak stale
+// bits into a later cycle.
+func (b *Bitset) Reset(n int) {
+	w := BitsetWords(n)
+	if cap(*b) < w {
+		*b = make(Bitset, w)
+		return
+	}
+	s := (*b)[:w]
+	clear(s)
+	*b = s
+}
+
+// Has reports whether bit i is set.
+func (b Bitset) Has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Count reports the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -2,6 +2,7 @@ package heap
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // HandleID names an object through its handle-table slot. ID 0 is the
@@ -86,14 +87,21 @@ type Heap struct {
 	arena *Arena
 	stats Stats
 	seq   uint64
+	// liveBits mirrors handle.live word-packed, maintained by
+	// Alloc/Free: bit i is set iff handles[i].live. The sweep phase
+	// consumes it directly — garbage in a 64-handle window is
+	// live &^ mark, one AND-NOT per word — and ForEachLive/NumLive walk
+	// words instead of handle records.
+	liveBits Bitset
 }
 
 // New returns a heap whose object space spans arenaBytes.
 func New(arenaBytes int) *Heap {
 	h := &Heap{
-		arena:   NewArena(arenaBytes),
-		byName:  make(map[string]ClassID),
-		handles: make([]handle, 1), // slot 0 = Nil, never used
+		arena:    NewArena(arenaBytes),
+		byName:   make(map[string]ClassID),
+		handles:  make([]handle, 1), // slot 0 = Nil, never used
+		liveBits: make(Bitset, 1),
 	}
 	return h
 }
@@ -180,6 +188,11 @@ func (h *Heap) Alloc(c ClassID, extra int) (HandleID, error) {
 	} else {
 		h.handles = append(h.handles, handle{})
 		id = HandleID(len(h.handles) - 1)
+		if int(id)>>6 >= len(h.liveBits) {
+			// Appended values are explicit zeros, so capacity retained
+			// across Reset can never surface stale bits.
+			h.liveBits = append(h.liveBits, 0)
+		}
 	}
 	h.seq++
 	hd := &h.handles[int(id)]
@@ -188,6 +201,7 @@ func (h *Heap) Alloc(c ClassID, extra int) (HandleID, error) {
 	hd.size = size
 	hd.live = true
 	hd.birth = h.seq
+	h.liveBits.Set(int(id))
 	h.bindRefs(hd, cls.Refs+extra)
 	h.stats.Allocs++
 	h.stats.BytesAlloc += uint64(size)
@@ -240,6 +254,7 @@ func (h *Heap) Free(id HandleID) {
 	h.arena.Free(hd.addr, hd.size)
 	hd.live = false
 	hd.refLen = 0
+	h.liveBits.Clear(int(id))
 	h.freeIDs = append(h.freeIDs, id)
 	h.stats.Frees++
 }
@@ -276,17 +291,10 @@ func (h *Heap) Live(id HandleID) bool {
 	return id != Nil && int(id) < len(h.handles) && h.handles[int(id)].live
 }
 
-// NumLive counts live objects (O(table); used by tests and experiments,
-// not hot paths).
-func (h *Heap) NumLive() int {
-	n := 0
-	for i := 1; i < len(h.handles); i++ {
-		if h.handles[i].live {
-			n++
-		}
-	}
-	return n
-}
+// NumLive counts live objects. One popcount per 64 handles — cheap
+// enough that the collection cycle consults it as its parallel-tracing
+// admission gate.
+func (h *Heap) NumLive() int { return h.liveBits.Count() }
 
 // HandleCap reports the current handle-table capacity (including dead
 // slots); CG sizes its side metadata from this.
@@ -344,14 +352,28 @@ func (h *Heap) Refs(id HandleID, fn func(HandleID)) {
 }
 
 // ForEachLive visits every live object in handle order (the MSA sweep
-// order).
+// order), walking the live bitmap word-at-a-time. The current bit is
+// re-checked against the live array before each visit, so a callback
+// that frees objects ahead of the cursor (within the current word)
+// observes the same skip-dead semantics the handle-record walk had.
 func (h *Heap) ForEachLive(fn func(HandleID)) {
-	for i := 1; i < len(h.handles); i++ {
-		if h.handles[i].live {
-			fn(HandleID(i))
+	lb := h.liveBits
+	for k, w := range lb {
+		base := k << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if lb[k]&(1<<uint(b)) != 0 {
+				fn(HandleID(base + b))
+			}
 		}
 	}
 }
+
+// LiveWords exposes the live bitmap as a read-only word view covering
+// the whole handle table — the sweep phase's input. Callers must not
+// retain it across heap growth.
+func (h *Heap) LiveWords() Bitset { return h.liveBits }
 
 // Reset returns the heap to its freshly constructed state — empty class
 // table, one-slot handle table, empty slab, fully free arena, zeroed
@@ -367,6 +389,12 @@ func (h *Heap) Reset() {
 	// by the zero-handle append in Alloc before they are ever reachable.
 	h.handles = h.handles[:1]
 	h.freeIDs = h.freeIDs[:0]
+	// Clear the live bitmap through its full capacity before shrinking:
+	// regrowth appends explicit zero words, but a plain truncation here
+	// would leave stale bits inside the retained capacity.
+	full := h.liveBits[:cap(h.liveBits)]
+	clear(full)
+	h.liveBits = full[:1]
 	h.slab = h.slab[:0]
 	h.stats = Stats{}
 	h.seq = 0

@@ -343,3 +343,68 @@ func BenchmarkHeapAllocFree(b *testing.B) {
 		ids = append(ids, id)
 	}
 }
+
+// TestLiveBitmapMirrorsHandles pins the live-bitmap invariant the
+// word-at-a-time sweep depends on: bit i of LiveWords is set exactly
+// when handle i is live, across alloc, free, handle recycling and
+// Reset (including regrowth into retained capacity, which must never
+// surface stale bits).
+func TestLiveBitmapMirrorsHandles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, node, _ := testHeap(t)
+	check := func(when string) {
+		t.Helper()
+		lw := h.LiveWords()
+		if want := BitsetWords(h.HandleCap()); len(lw) != want {
+			t.Fatalf("%s: LiveWords len %d, want %d for cap %d", when, len(lw), want, h.HandleCap())
+		}
+		n := 0
+		for i := 0; i < h.HandleCap(); i++ {
+			id := HandleID(i)
+			if lw.Has(i) != h.Live(id) {
+				t.Fatalf("%s: bit %d = %v, Live = %v", when, i, lw.Has(i), h.Live(id))
+			}
+			if h.Live(id) {
+				n++
+			}
+		}
+		if h.NumLive() != n {
+			t.Fatalf("%s: NumLive = %d, manual count %d", when, h.NumLive(), n)
+		}
+		var visited []HandleID
+		h.ForEachLive(func(id HandleID) { visited = append(visited, id) })
+		if len(visited) != n {
+			t.Fatalf("%s: ForEachLive visited %d, want %d", when, len(visited), n)
+		}
+		for i := 1; i < len(visited); i++ {
+			if visited[i-1] >= visited[i] {
+				t.Fatalf("%s: ForEachLive out of order at %d", when, i)
+			}
+		}
+	}
+	var ids []HandleID
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 200; i++ {
+			id, err := h.Alloc(node, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		check("after allocs")
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:len(ids)/2] {
+			h.Free(id)
+		}
+		ids = ids[len(ids)/2:]
+		check("after frees")
+	}
+	h.Reset()
+	node = h.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+	check("after reset")
+	if _, err := h.Alloc(node, 0); err != nil {
+		t.Fatal(err)
+	}
+	check("after reset+alloc")
+	ids = ids[:0]
+}

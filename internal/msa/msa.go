@@ -2,54 +2,49 @@
 // exact mark-and-sweep collector (MSA) over the handle table, rooted in
 // the runtime stacks and static area ("the roots of computation", §1).
 //
-// The mark phase exposes hooks so the contaminated collector can verify
-// and rebuild its equilive structures while the world is being traversed
-// anyway — the resetting scheme of §3.6. Frames are visited oldest-first
-// (static pseudo-frame, then each thread's stack bottom-up), so the first
-// frame to reach an object is the oldest frame that references it: the
-// conservative dependent frame CG wants.
+// The collection cycle exposes observation points so the contaminated
+// collector can verify and rebuild its equilive structures while the
+// world is being traversed anyway — the resetting scheme of §3.6.
+// Observers subscribe through the Cycle descriptor, the collection-side
+// analog of vm.Events: function-valued slots, nil meaning
+// "unsubscribed". A cycle with no per-object/per-edge slots runs a
+// tight, hook-free mark loop (and, for large heaps, a deterministic
+// parallel trace — see trace.go); a fully subscribed cycle pays one
+// direct indirect call per event, never interface dispatch.
+//
+// Frames are visited oldest-first (static pseudo-frame, then each
+// thread's stack bottom-up), so the first frame to reach an object is
+// the oldest frame that references it: the conservative dependent frame
+// CG wants.
 package msa
 
 import (
+	"math/bits"
+	"sync"
+
 	"repro/internal/heap"
 	"repro/internal/vm"
 )
 
-// Hooks observe the collection cycle. The zero-value NopHooks ignores
-// everything.
-type Hooks interface {
-	// BeginCycle fires before marking starts.
-	BeginCycle()
+// Cycle describes what an observer wants from one collection cycle —
+// the descriptor that replaced the five-method Hooks interface. Every
+// slot is optional; the zero value observes nothing and selects the
+// flat (and, when profitable, parallel) mark path.
+type Cycle struct {
+	// Begin fires before marking starts.
+	Begin func()
 	// Reached fires the first time the mark phase visits id; f is the
 	// root frame whose traversal reached it first.
-	Reached(id heap.HandleID, f *vm.Frame)
+	Reached func(id heap.HandleID, f *vm.Frame)
 	// Edge fires for every reference src -> dst the traversal follows
 	// (dst may already be marked).
-	Edge(src, dst heap.HandleID)
+	Edge func(src, dst heap.HandleID)
 	// WillFree fires during the sweep for every unmarked object, just
 	// before the heap extent is released.
-	WillFree(id heap.HandleID)
-	// EndCycle fires after the sweep with the number of objects freed.
-	EndCycle(freed int)
+	WillFree func(id heap.HandleID)
+	// End fires after the sweep with the number of objects freed.
+	End func(freed int)
 }
-
-// NopHooks is the do-nothing Hooks implementation.
-type NopHooks struct{}
-
-// BeginCycle implements Hooks.
-func (NopHooks) BeginCycle() {}
-
-// Reached implements Hooks.
-func (NopHooks) Reached(heap.HandleID, *vm.Frame) {}
-
-// Edge implements Hooks.
-func (NopHooks) Edge(src, dst heap.HandleID) {}
-
-// WillFree implements Hooks.
-func (NopHooks) WillFree(heap.HandleID) {}
-
-// EndCycle implements Hooks.
-func (NopHooks) EndCycle(int) {}
 
 // Stats aggregates collector activity across cycles.
 type Stats struct {
@@ -67,114 +62,231 @@ func (s *Stats) Merge(o Stats) {
 	s.EdgeVisits += o.EdgeVisits
 }
 
-// Collector is the mark–sweep engine. It holds no policy about *when* to
-// collect; the runtime (or a wrapping collector) decides that.
+// Collector is the mark–sweep engine. It holds no policy about *when*
+// to collect; the runtime (or a wrapping collector) decides that.
 type Collector struct {
 	rt    *vm.Runtime
 	stats Stats
-	mark  []bool          // scratch mark bits, indexed by HandleID
+	mark  heap.Bitset     // scratch mark bits, indexed by HandleID
 	work  []heap.HandleID // scratch DFS stack
+	// parts/workers are parallel-trace scratch (trace.go): the root
+	// partition list and the per-cycle worker scratch table, recycled
+	// with the engine through Reattach and the collector pools.
+	parts   []vm.RootGroup
+	workers []*traceScratch
+	// traceWorkers/traceMinLive override the package-level parallel
+	// tracing defaults when non-zero (SetTrace).
+	traceWorkers int
+	traceMinLive int
 }
 
 // New returns a mark–sweep engine bound to rt.
 func New(rt *vm.Runtime) *Collector { return &Collector{rt: rt} }
 
 // Reattach rebinds the engine to a new runtime and zeroes its
-// counters, keeping the mark/work scratch capacity. A reattached
+// counters, keeping the mark/work/trace scratch capacity. A reattached
 // engine is observably fresh: Collect re-sizes and re-clears the mark
 // bits every cycle anyway. Pooled collectors (core's detachable
-// tables) reuse engines through this instead of allocating
-// HandleCap-sized scratch per matrix cell.
+// tables, the System pool below) reuse engines through this instead of
+// allocating HandleCap-sized scratch per matrix cell. The root
+// partition scratch is pointer-bearing and is cleared through its
+// capacity, so a pooled engine never pins a dead shard's frames.
 func (m *Collector) Reattach(rt *vm.Runtime) {
 	m.rt = rt
 	m.stats = Stats{}
+	// Per-engine SetTrace overrides do not survive reattachment: a
+	// pooled engine must behave like a fresh one, not like whichever
+	// previous user tuned it last.
+	m.traceWorkers, m.traceMinLive = 0, 0
+	parts := m.parts[:cap(m.parts)]
+	clear(parts)
+	m.parts = parts[:0]
+	// Trace-worker scratch is kept across cycles of one run (forced-GC
+	// cells cycle thousands of times) but returns to the shared pool
+	// between runs: W private bitsets per idle engine would dwarf the
+	// mark scratch the pool exists to recycle.
+	for i, s := range m.workers {
+		scratchPool.Put(s)
+		m.workers[i] = nil
+	}
+	m.workers = m.workers[:0]
 }
 
 // Stats returns a copy of the counters.
 func (m *Collector) Stats() Stats { return m.stats }
 
-// Collect runs one full mark–sweep cycle, invoking hooks throughout, and
-// returns the number of objects freed.
-func (m *Collector) Collect(hooks Hooks) int {
+// Collect runs one full mark–sweep cycle, firing the cycle descriptor's
+// subscribed slots throughout, and returns the number of objects freed.
+//
+// The mark phase picks the cheapest loop the subscription allows: with
+// no Reached/Edge slot it runs hook-free — zero calls per edge — and
+// escalates to the deterministic parallel tracer when the live
+// population clears the admission gate; with either slot bound it runs
+// the sequential devirtualized loop (the rebuild observers depend on
+// the exact oldest-first DFS event order, which parallel tracing does
+// not replay — see trace.go for why the mark *set* still matches).
+//
+// The sweep phase is word-at-a-time: garbage in a 64-handle window is
+// one live&^mark, and each garbage object is found with a
+// find-next-set-bit loop instead of a per-handle liveness branch.
+func (m *Collector) Collect(cy Cycle) int {
 	h := m.rt.Heap
 	m.stats.Cycles++
-	hooks.BeginCycle()
+	if cy.Begin != nil {
+		cy.Begin()
+	}
+	m.mark.Reset(h.HandleCap())
 
-	cap := h.HandleCap()
-	if len(m.mark) < cap {
-		m.mark = make([]bool, cap)
-	} else {
-		for i := range m.mark {
-			m.mark[i] = false
+	if cy.Reached == nil && cy.Edge == nil {
+		if w := m.parallelWorkers(h); w > 1 {
+			m.markParallel(w, nil)
+		} else {
+			m.markFlat()
 		}
+	} else {
+		m.markHooked(cy)
 	}
 
-	// Mark phase: roots in oldest-first frame order.
-	m.rt.EachRootFrame(func(f *vm.Frame, roots []heap.HandleID) {
-		for _, r := range roots {
-			if r != heap.Nil {
-				m.markFrom(r, f, hooks)
-			}
-		}
-	})
-
-	// Sweep phase: handle-table order, releasing unmarked extents.
+	// Sweep: handle-table order, releasing unmarked extents. The
+	// garbage word is a snapshot, so each object re-checks the current
+	// live word before its Free: a WillFree observer that itself
+	// releases a garbage sibling must find that sibling skipped here,
+	// exactly as the per-handle liveness walk this loop replaced
+	// guaranteed.
 	freed := 0
-	h.ForEachLive(func(id heap.HandleID) {
-		if !m.mark[int(id)] {
-			hooks.WillFree(id)
+	live := h.LiveWords()
+	mark := m.mark
+	for k, lw := range live {
+		g := lw &^ mark[k]
+		base := k << 6
+		for g != 0 {
+			b := bits.TrailingZeros64(g)
+			g &= g - 1
+			if live[k]&(1<<uint(b)) == 0 {
+				continue
+			}
+			id := heap.HandleID(base + b)
+			if cy.WillFree != nil {
+				cy.WillFree(id)
+			}
 			h.Free(id)
 			freed++
 		}
-	})
+	}
 	m.stats.Freed += uint64(freed)
-	hooks.EndCycle(freed)
+	if cy.End != nil {
+		cy.End(freed)
+	}
 	return freed
 }
 
-// markFrom marks everything reachable from root, attributing first visits
-// to frame f. Iterative DFS: recursion depth is data-dependent and the
-// raytrace analog builds long chains.
-func (m *Collector) markFrom(root heap.HandleID, f *vm.Frame, hooks Hooks) {
+// markFlat is the hook-free sequential mark: the tight inner loop a
+// cycle with no per-object/per-edge observers runs. Roots are visited
+// in the canonical oldest-first order; each reachable object is pushed
+// once and its slab extent scanned once.
+func (m *Collector) markFlat() {
 	h := m.rt.Heap
-	if m.mark[int(root)] {
-		return
-	}
-	m.mark[int(root)] = true
-	m.stats.Marked++
-	hooks.Reached(root, f)
-	m.work = append(m.work[:0], root)
-	for len(m.work) > 0 {
-		src := m.work[len(m.work)-1]
-		m.work = m.work[:len(m.work)-1]
-		// RefSlots walks the object's slab extent directly — the
-		// contiguous-memory traversal the slab layout buys the mark
-		// phase (no per-edge closure call).
-		for _, dst := range h.RefSlots(src) {
-			if dst == heap.Nil {
+	mark := m.mark
+	work := m.work[:0]
+	var marked, edges uint64
+	m.rt.EachRootFrame(func(_ *vm.Frame, roots []heap.HandleID) {
+		for _, r := range roots {
+			if r == heap.Nil || mark.Has(int(r)) {
 				continue
 			}
-			m.stats.EdgeVisits++
-			if !m.mark[int(dst)] {
-				m.mark[int(dst)] = true
-				m.stats.Marked++
-				// Reached must precede the Edge event so a rebuilding
-				// hook (internal/core) sees both endpoints in fresh
-				// singleton sets before re-contaminating them.
-				hooks.Reached(dst, f)
-				m.work = append(m.work, dst)
+			mark.Set(int(r))
+			marked++
+			work = append(work, r)
+			for len(work) > 0 {
+				src := work[len(work)-1]
+				work = work[:len(work)-1]
+				// RefSlots walks the object's slab extent directly —
+				// the contiguous-memory traversal the slab layout buys
+				// the mark phase.
+				for _, dst := range h.RefSlots(src) {
+					if dst == heap.Nil {
+						continue
+					}
+					edges++
+					if !mark.Has(int(dst)) {
+						mark.Set(int(dst))
+						marked++
+						work = append(work, dst)
+					}
+				}
 			}
-			hooks.Edge(src, dst)
 		}
-	}
+	})
+	m.work = work
+	m.stats.Marked += marked
+	m.stats.EdgeVisits += edges
 }
+
+// markHooked is the observed sequential mark: identical traversal to
+// markFlat, firing the subscribed Reached/Edge slots. Event order is
+// the contract the §3.6 rebuild depends on: Reached fires before any
+// Edge touching the object, so a rebuilding observer (internal/core)
+// sees both endpoints in fresh singleton sets before re-contaminating
+// them, and the oldest-first root order makes the first reaching frame
+// the most conservative dependent frame.
+func (m *Collector) markHooked(cy Cycle) {
+	h := m.rt.Heap
+	mark := m.mark
+	work := m.work[:0]
+	reached, edge := cy.Reached, cy.Edge
+	var marked, edges uint64
+	m.rt.EachRootFrame(func(f *vm.Frame, roots []heap.HandleID) {
+		for _, r := range roots {
+			if r == heap.Nil || mark.Has(int(r)) {
+				continue
+			}
+			mark.Set(int(r))
+			marked++
+			if reached != nil {
+				reached(r, f)
+			}
+			work = append(work, r)
+			for len(work) > 0 {
+				src := work[len(work)-1]
+				work = work[:len(work)-1]
+				for _, dst := range h.RefSlots(src) {
+					if dst == heap.Nil {
+						continue
+					}
+					edges++
+					if !mark.Has(int(dst)) {
+						mark.Set(int(dst))
+						marked++
+						if reached != nil {
+							reached(dst, f)
+						}
+						work = append(work, dst)
+					}
+					if edge != nil {
+						edge(src, dst)
+					}
+				}
+			}
+		}
+	})
+	m.work = work
+	m.stats.Marked += marked
+	m.stats.EdgeVisits += edges
+}
+
+// systemPool recycles System engines (mark bitset, DFS stack, trace
+// scratch) across pooled-shard cells through the event table's Detach
+// path, mirroring core's table pool.
+var systemPool = sync.Pool{New: func() any { return &Collector{} }}
 
 // System is the baseline "JDK 1.1.8" configuration: no incremental
 // collection, mark–sweep on demand. It implements vm.Collector with the
 // leanest possible event table: mark–sweep needs no per-event
 // bookkeeping at all, so it subscribes no slot and declares only the
 // Collect capability — under the event-table ABI every putfield,
-// access and frame pop under msa costs the runtime nothing.
+// access and frame pop under msa costs the runtime nothing. Its
+// collection cycle subscribes no Cycle slot either, so it always runs
+// the flat (or parallel) mark.
 type System struct {
 	m *Collector
 }
@@ -190,16 +302,35 @@ func (s *System) Events() vm.Events {
 	return vm.Events{
 		Name:      "msa",
 		Attach:    s.Attach,
+		Detach:    s.detach,
 		Collect:   s.Collect,
 		Collector: s,
 	}
 }
 
-// Attach binds the system to rt (the descriptor's Attach hook).
-func (s *System) Attach(rt *vm.Runtime) { s.m = New(rt) }
+// Attach binds the system to rt (the descriptor's Attach hook), drawing
+// a pooled engine so a sweep of matrix cells stops re-allocating
+// HandleCap-sized mark scratch per cell.
+func (s *System) Attach(rt *vm.Runtime) {
+	m := systemPool.Get().(*Collector)
+	m.Reattach(rt)
+	s.m = m
+}
+
+// detach implements the event table's Detach capability: the engine
+// (and its scratch) goes back to the pool. The system must not be
+// queried after detach; m is nilled so a violation fails loudly.
+func (s *System) detach() {
+	if s.m == nil {
+		return
+	}
+	s.m.Reattach(nil)
+	systemPool.Put(s.m)
+	s.m = nil
+}
 
 // Collect is the collection capability.
-func (s *System) Collect() int { return s.m.Collect(NopHooks{}) }
+func (s *System) Collect() int { return s.m.Collect(Cycle{}) }
 
 // Engine exposes the underlying mark–sweep engine (stats).
 func (s *System) Engine() *Collector { return s.m }

@@ -112,18 +112,16 @@ func TestStaticsAreRoots(t *testing.T) {
 	}
 }
 
-// orderHooks records first-visit attribution to verify the oldest-first
-// property the resetting pass depends on.
-type orderHooks struct {
-	NopHooks
-	firstFrame map[heap.HandleID]uint64
-}
-
-func (o *orderHooks) Reached(id heap.HandleID, f *vm.Frame) {
-	if _, ok := o.firstFrame[id]; ok {
-		panic("Reached fired twice for one object")
-	}
-	o.firstFrame[id] = f.ID
+// recordReached returns a Cycle subscribing only Reached, recording
+// first-visit attribution — the oldest-first property the resetting
+// pass depends on.
+func recordReached(firstFrame map[heap.HandleID]uint64) Cycle {
+	return Cycle{Reached: func(id heap.HandleID, f *vm.Frame) {
+		if _, ok := firstFrame[id]; ok {
+			panic("Reached fired twice for one object")
+		}
+		firstFrame[id] = f.ID
+	}}
 }
 
 func TestReachedAttributesOldestFrame(t *testing.T) {
@@ -134,9 +132,9 @@ func TestReachedAttributesOldestFrame(t *testing.T) {
 	rootF.SetLocal(0, shared)
 	th.CallVoid(1, func(inner *vm.Frame) {
 		inner.SetLocal(0, shared) // also referenced by the younger frame
-		h := &orderHooks{firstFrame: make(map[heap.HandleID]uint64)}
-		sys.Engine().Collect(h)
-		if got := h.firstFrame[shared]; got != rootF.ID {
+		firstFrame := make(map[heap.HandleID]uint64)
+		sys.Engine().Collect(recordReached(firstFrame))
+		if got := firstFrame[shared]; got != rootF.ID {
 			t.Fatalf("shared object attributed to frame %d, want oldest %d", got, rootF.ID)
 		}
 	})
@@ -148,12 +146,12 @@ func TestWillFreePrecedesFree(t *testing.T) {
 	var victim heap.HandleID
 	th.CallVoid(0, func(g *vm.Frame) { victim = g.MustNew(node) })
 	liveAtHook := false
-	h := &hookFn{onWillFree: func(id heap.HandleID) {
+	cy := Cycle{WillFree: func(id heap.HandleID) {
 		if id == victim {
 			liveAtHook = rt.Heap.Live(id)
 		}
 	}}
-	sys.Engine().Collect(h)
+	sys.Engine().Collect(cy)
 	if !liveAtHook {
 		t.Fatal("WillFree fired after the object was freed (or never)")
 	}
@@ -161,13 +159,6 @@ func TestWillFreePrecedesFree(t *testing.T) {
 		t.Fatal("victim survived")
 	}
 }
-
-type hookFn struct {
-	NopHooks
-	onWillFree func(heap.HandleID)
-}
-
-func (h *hookFn) WillFree(id heap.HandleID) { h.onWillFree(id) }
 
 // TestRandomGraphExactness builds a random object graph, computes an
 // independent reachability oracle, and checks the collector frees exactly
@@ -257,5 +248,34 @@ func TestStatsMerge(t *testing.T) {
 	a.Merge(b)
 	if a != (Stats{Cycles: 3, Marked: 15, Freed: 5, EdgeVisits: 27}) {
 		t.Fatalf("Stats.Merge = %+v", a)
+	}
+}
+
+// TestWillFreeMayFreeSiblingGarbage pins the sweep's re-check
+// contract: an observer whose WillFree releases another garbage object
+// itself (eager finalization of an owned buffer, say) must see that
+// sibling skipped by the sweep — not double-freed — exactly as the
+// per-handle liveness walk the word sweep replaced behaved.
+func TestWillFreeMayFreeSiblingGarbage(t *testing.T) {
+	rt, sys, node := newRT(1 << 16)
+	th := rt.NewThread(0)
+	var owner, buf heap.HandleID
+	th.CallVoid(0, func(g *vm.Frame) {
+		owner = g.MustNew(node)
+		buf = g.MustNew(node)
+		g.PutField(owner, 0, buf)
+	})
+	freed := sys.Engine().Collect(Cycle{WillFree: func(id heap.HandleID) {
+		if id == owner {
+			rt.Heap.Free(buf) // finalizer releases the owned buffer early
+		}
+	}})
+	// Both are gone: one by the observer, one by the sweep; the sweep
+	// must count only its own.
+	if rt.Heap.Live(owner) || rt.Heap.Live(buf) {
+		t.Fatal("garbage survived the cycle")
+	}
+	if freed != 1 {
+		t.Fatalf("sweep freed %d, want 1 (the observer freed the other)", freed)
 	}
 }

@@ -319,6 +319,36 @@ func (rt *Runtime) EachRootFrame(fn func(f *Frame, roots []heap.HandleID)) {
 	}
 }
 
+// RootGroup is one (frame, roots) presentation of the canonical root
+// enumeration — the slice form of EachRootFrame for tracers that
+// partition root-driven work across workers. The Roots slice aliases
+// live runtime state (locals, operands, statics): it is valid only
+// while the world is stopped for the collection cycle and may contain
+// Nil entries.
+type RootGroup struct {
+	Frame *Frame
+	Roots []heap.HandleID
+}
+
+// AppendRootGroups appends every root group to dst, in exactly
+// EachRootFrame's order (static pseudo-frame first — statics, then
+// interned roots — then each thread's frames oldest-first, locals
+// before operands), and returns the extended slice. Group index order
+// is therefore the sequential mark's traversal order: the parallel
+// tracer's minimum-group-index merge reproduces the sequential
+// first-reaching-frame assignment because of it.
+func (rt *Runtime) AppendRootGroups(dst []RootGroup) []RootGroup {
+	dst = append(dst,
+		RootGroup{rt.staticFrame, rt.statics},
+		RootGroup{rt.staticFrame, rt.internedRoots})
+	for _, t := range rt.threads {
+		for _, f := range t.stack {
+			dst = append(dst, RootGroup{f, f.locals}, RootGroup{f, f.operands})
+		}
+	}
+	return dst
+}
+
 // EachFrame visits every live frame exactly once: the static
 // pseudo-frame, then each thread's stack oldest-first. Consumers that
 // only need the frames (CG's rebuild pass walks their dependent-set
