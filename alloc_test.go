@@ -51,6 +51,53 @@ func TestSteadyStateEventAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateArenaOpAllocs pins the slab arena's own operation
+// surface — Alloc, Free and the O(1) Info read — at zero Go-heap
+// allocations per op in steady state, for the shard arena of every
+// registered collector spec. Once the first pass has grown the slab
+// metadata and page-heap slices to their high-water capacity, churning
+// small classes, a page-sized class and a multi-page large block
+// touches only the arena's free masks and counters.
+func TestSteadyStateArenaOpAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful unraced")
+	}
+	for _, spec := range collectors.AllSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			col, err := collectors.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := NewHeap(1 << 20)
+			NewRuntime(h, col)
+			a := h.Arena()
+			sizes := []int{8, 16, 48, 256, 4096, 12288}
+			addrs := make([]int, len(sizes))
+			step := func() {
+				for i, s := range sizes {
+					p, err := a.Alloc(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					addrs[i] = p
+				}
+				if info := a.Info(); info.AllocBytes <= 0 {
+					t.Fatal("Info reports no allocated bytes mid-step")
+				}
+				for i, s := range sizes {
+					a.Free(addrs[i], s)
+				}
+			}
+			for i := 0; i < 4; i++ { // warm slab records, partial lists, page heap
+				step()
+			}
+			if n := testing.AllocsPerRun(200, step); n != 0 {
+				t.Fatalf("steady-state Arena.Alloc/Free/Info allocates %v objects/op under %s", n, spec)
+			}
+		})
+	}
+}
+
 // TestSteadyStateChurnAllocs pins the allocate-and-die loop — the §3.7
 // recycling path and the slab heap's extent reuse — at zero Go
 // allocations per op: a dead handle's slab extent and ID are recycled,

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/heap"
+)
+
+// -bench-arena: the allocator micro-benchmark family. Where the
+// Workload family times whole benchmark analogs end to end, this one
+// isolates the arena hot path the slab redesign targets: steady-state
+// alloc/free per size class, FIFO churn (the recycle-index pattern:
+// free the oldest live block, allocate a fresh one), a mixed-
+// demographics cell whose size sequence mimics the object demographics
+// the thesis reports (small-heavy with an occasional page-crossing
+// block), the large-object page path, and the O(1) Info() read. Every
+// cell also runs against the retired first-fit SpanArena — the
+// committed reference model — so a report quantifies the redesign
+// directly: Arena/... vs SpanArena/... under identical scripts.
+// BENCH_seed_arena.json is the committed capture CI warns against.
+
+// benchArenaOps is the operation surface shared by the slab arena and
+// the first-fit reference model.
+type benchArenaOps interface {
+	Alloc(size int) (int, error)
+	Free(addr, size int)
+	Reset()
+}
+
+// arenaBenchCapacity keeps both allocators on the 4096-byte page
+// geometry the demographics shards use, while staying small enough
+// that the churn windows exercise free-list reuse rather than virgin
+// pages.
+const arenaBenchCapacity = 1 << 20
+
+// mixedSizes is the deterministic mixed-demographics request sequence:
+// dominated by small blocks (the thesis's object populations are), with
+// mid-sized records and an occasional page-crossing block to keep the
+// large path in the loop.
+var mixedSizes = []int{
+	16, 24, 16, 32, 48, 16, 24, 64, 16, 40,
+	96, 16, 24, 32, 256, 16, 48, 24, 640, 16,
+	32, 24, 128, 16, 8192,
+}
+
+func benchAllocFree(mk func() benchArenaOps, size int) func(*testing.B) {
+	return func(b *testing.B) {
+		a := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := a.Alloc(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.Free(p, size)
+		}
+	}
+}
+
+func benchChurn(mk func() benchArenaOps, size, window int) func(*testing.B) {
+	return func(b *testing.B) {
+		a := mk()
+		addrs := make([]int, window)
+		for i := range addrs {
+			p, err := a.Alloc(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs[i] = p
+		}
+		idx := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Free(addrs[idx], size)
+			p, err := a.Alloc(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs[idx] = p
+			idx++
+			if idx == window {
+				idx = 0
+			}
+		}
+	}
+}
+
+// benchFragmented is the populated-heap pattern collection cycles
+// produce: churn slots of one class interleaved with 8-byte pin
+// objects that stay live for the whole benchmark, half the slots freed.
+// The pins make the fragmentation structural — a freed slot can never
+// coalesce with its neighbours — so a first-fit span list holds
+// thousands of entries for the entire timed loop and every Free pays an
+// ordered insert into it, while the slab arena's per-class free masks
+// stay O(1) regardless of hole count.
+func benchFragmented(mk func() benchArenaOps, size int) func(*testing.B) {
+	return func(b *testing.B) {
+		a := mk()
+		slots := arenaBenchCapacity / (2 * (size + 8))
+		addrs := make([]int, slots)
+		for i := range addrs {
+			p, err := a.Alloc(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs[i] = p
+			if _, err := a.Alloc(8); err != nil { // the pin, never freed
+				b.Fatal(err)
+			}
+		}
+		live := make([]int, 0, slots/2)
+		for i, p := range addrs {
+			if i%2 == 0 {
+				a.Free(p, size)
+			} else {
+				live = append(live, p)
+			}
+		}
+		idx := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := a.Alloc(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.Free(live[idx], size)
+			live[idx] = p
+			idx = (idx + 7919) % len(live)
+		}
+	}
+}
+
+func benchMixed(mk func() benchArenaOps, window int) func(*testing.B) {
+	return func(b *testing.B) {
+		a := mk()
+		type ext struct{ addr, size int }
+		live := make([]ext, window)
+		next := 0
+		take := func() int {
+			s := mixedSizes[next%len(mixedSizes)]
+			next++
+			return s
+		}
+		for i := range live {
+			s := take()
+			p, err := a.Alloc(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			live[i] = ext{p, s}
+		}
+		idx := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Free(live[idx].addr, live[idx].size)
+			s := take()
+			p, err := a.Alloc(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			live[idx] = ext{p, s}
+			idx++
+			if idx == window {
+				idx = 0
+			}
+		}
+	}
+}
+
+// benchInfoSink keeps Info() calls observable so the loop cannot be
+// dead-code eliminated.
+var benchInfoSink heap.Info
+
+func benchInfo() func(*testing.B) {
+	return func(b *testing.B) {
+		a := heap.NewArena(arenaBenchCapacity)
+		for _, s := range mixedSizes {
+			if _, err := a.Alloc(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchInfoSink = a.Info()
+		}
+	}
+}
+
+// runArenaBenchMode times the arena family and writes the same benchfmt
+// report (and optional baseline diff) as the Workload family.
+func runArenaBenchMode(cfg benchConfig) error {
+	if err := setBenchTime(cfg.benchTime); err != nil {
+		return err
+	}
+	subjects := []struct {
+		family string
+		mk     func() benchArenaOps
+	}{
+		{"Arena", func() benchArenaOps { return heap.NewArena(arenaBenchCapacity) }},
+		{"SpanArena", func() benchArenaOps { return heap.NewSpanArena(arenaBenchCapacity) }},
+	}
+	report := benchfmt.NewReport(cfg.benchTime)
+	add := func(name string, body func(*testing.B)) {
+		r := testing.Benchmark(body)
+		report.Add(benchfmt.Entry{
+			Name:        name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-52s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			name, report.Benchmarks[len(report.Benchmarks)-1].NsPerOp,
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	for _, sub := range subjects {
+		for _, size := range []int{8, 16, 32, 64, 256, 1024, 4096} {
+			add(fmt.Sprintf("%s/alloc-free/c%d", sub.family, size), benchAllocFree(sub.mk, size))
+		}
+		add(fmt.Sprintf("%s/alloc-free/large%d", sub.family, 4*4096), benchAllocFree(sub.mk, 4*4096))
+		for _, size := range []int{16, 64, 256} {
+			add(fmt.Sprintf("%s/churn/c%d", sub.family, size), benchChurn(sub.mk, size, 256))
+		}
+		for _, size := range []int{16, 64, 256} {
+			add(fmt.Sprintf("%s/frag/c%d", sub.family, size), benchFragmented(sub.mk, size))
+		}
+		add(sub.family+"/mixed", benchMixed(sub.mk, 192))
+	}
+	add("Arena/info", benchInfo())
+	if err := report.WriteFile(cfg.out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cgbench: wrote %d benchmarks to %s\n", len(report.Benchmarks), cfg.out)
+	return warnAgainstBaseline(cfg, report)
+}

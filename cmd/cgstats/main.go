@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	cgstats [-size N] [-collector spec] [-noopt] [-bench name] [-workers N]
+//	cgstats [-size N] [-collector spec] [-noopt] [-bench name] [-workers N] [-arena-stats]
 package main
 
 import (
@@ -42,7 +42,9 @@ func main() {
 	traceMinLive := flag.Int("trace-min-live", 0,
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	maxHeap := flag.String("max-heap-bytes", "0",
-		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
+		"exact arena-byte cap for concurrently resident shards, pooled included (e.g. 2GiB; 0 = unlimited)")
+	arenaStats := flag.Bool("arena-stats", false,
+		"append a per-benchmark arena occupancy table (capacity / heap / alloc / overhead from the slab arena's O(1) counters)")
 	flag.Parse()
 	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 
@@ -119,4 +121,20 @@ func main() {
 	fmt.Print(tb)
 	fmt.Println()
 	fmt.Print(hists)
+	if *arenaStats {
+		// End-of-run occupancy of each shard's slab arena, straight from
+		// the O(1) Info counters: heap = pages drawn from the arena,
+		// alloc = live object bytes, overhead = size-class slack and
+		// free-list bookkeeping inside those pages.
+		at := table.New("Arena occupancy at end of run",
+			"benchmark", "capacity", "heap", "alloc", "overhead", "heap/cap", "alloc/heap")
+		for i, s := range specs {
+			in := cells[i].Info
+			at.Rowf(s.Name, in.Capacity, in.HeapBytes, in.AllocBytes, in.Overhead,
+				stats.Pct(uint64(in.HeapBytes), uint64(in.Capacity)),
+				stats.Pct(uint64(in.AllocBytes), uint64(in.HeapBytes)))
+		}
+		fmt.Println()
+		fmt.Print(at)
+	}
 }

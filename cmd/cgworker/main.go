@@ -29,7 +29,7 @@ import (
 func main() {
 	workers := flag.Int("workers", 1, "engine worker count for this process (0 = GOMAXPROCS)")
 	maxHeap := flag.String("max-heap-bytes", "0",
-		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
+		"exact arena-byte cap for concurrently resident shards, pooled included (e.g. 2GiB; 0 = unlimited)")
 	traceWorkers := flag.Int("trace-workers", 0,
 		"parallel-trace worker count for hook-free collection cycles (0 = min(GOMAXPROCS, 8), 1 = sequential); output is identical for every value")
 	traceMinLive := flag.Int("trace-min-live", 0,

@@ -41,7 +41,7 @@ func main() {
 	traceMinLive := flag.Int("trace-min-live", 0,
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	maxHeap := flag.String("max-heap-bytes", "0",
-		"aggregate arena cap for concurrently admitted cells (e.g. 2GiB; 0 = unlimited)")
+		"exact arena-byte cap for concurrently resident shards, pooled included (e.g. 2GiB; 0 = unlimited)")
 	flag.Parse()
 	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 

@@ -163,21 +163,26 @@ type CG struct {
 	// write stays barrier-free.
 	oldFrames []*vm.Frame
 
-	// Recycled storage (§3.7), indexed by extent size class:
-	// recycleBuckets is sorted by extent size; each bucket is a LIFO
-	// of dead objects whose slab extent is exactly that many bytes.
-	// spare feeds bucket creation with recycled scratch slices (see
+	// Recycled storage (§3.7), indexed by the arena's size-class ladder:
+	// extents are align8, so heap.SizeClass maps a freed object's extent
+	// size to its rung exactly, and recycleClasses[class] is a LIFO of
+	// dead objects of that extent size — a freed object's class is known
+	// at pop time, so the insert is a direct index, no search at all.
+	// recycleNonEmpty mirrors which classes hold objects; AllocFallback's
+	// best fit is one NextSet scan over that bitset (O(ladder words),
+	// independent of object count — the seed's sorted-bucket binary
+	// search, and before it the first-fit walk that made cg+recycle
+	// *slower* than cg on allocation storms, both collapse into the
+	// ladder the arena already defines). Extents wider than the ladder
+	// (huge arrays) spill into the sorted bucket list, searched only
+	// after the ladder misses. Drained classes keep their capacity in
+	// place, so steady-state churn costs 0 Go allocations per op; spare
+	// feeds first-touch class creation with recycled scratch slices (see
 	// tables.spare).
-	// AllocFallback resolves a request with one binary search over the
-	// (few, class-bounded) distinct sizes instead of the first-fit
-	// walk over every recycled object the seed shipped — the walk made
-	// cg+recycle *slower* than cg on allocation storms (raytrace,
-	// Fig 4.12). A sorted slice, not a map: pop-time inserts run once
-	// per dead object and hashing dominated the walk it replaced.
-	// Drained buckets stay in place with their capacity, so
-	// steady-state churn costs 0 Go allocations per op.
-	recycleBuckets []sizeClassBucket
-	spare          [][]heap.HandleID
+	recycleClasses  [][]heap.HandleID
+	recycleNonEmpty heap.Bitset
+	recycleSpill    []sizeClassBucket
+	spare           [][]heap.HandleID
 	// byType holds recycled singleton objects keyed by class (Chapter 6
 	// typed recycling): a LIFO per class, each entry still heap-live.
 	byType map[heap.ClassID][]heap.HandleID
@@ -203,20 +208,24 @@ type CG struct {
 // at the figure level). The pool fills only via Events.Detach, i.e. on
 // the engine's Reset path; a dropped runtime donates nothing.
 type tables struct {
-	meta           []objMeta
-	sets           []setMeta
-	oldFrames      []*vm.Frame
-	dsu            *unionfind.DSU
-	packed         *unionfind.Packed
-	msa            *msa.Collector
-	recycleBuckets []sizeClassBucket
-	// spare holds the recycle buckets' scratch slices between cells.
-	// The bucket list itself is truncated at detach — one workload's
-	// size classes mean nothing to the next, and the list used to grow
-	// monotonically across a sweep — so the capacity behind the
-	// drained buckets is pooled here *shared across size classes*
-	// (capped at maxSpare) instead of staying pinned per class at each
-	// class's own high-water mark.
+	meta      []objMeta
+	sets      []setMeta
+	oldFrames []*vm.Frame
+	dsu       *unionfind.DSU
+	packed    *unionfind.Packed
+	msa       *msa.Collector
+	// recycleClasses is the ladder-indexed class array (entries nilled
+	// at detach, the array itself reused) and recycleSpill the sorted
+	// overflow list for extents wider than the ladder.
+	recycleClasses  [][]heap.HandleID
+	recycleNonEmpty heap.Bitset
+	recycleSpill    []sizeClassBucket
+	// spare holds the recycle classes' scratch slices between cells.
+	// The class entries themselves are nilled at detach — one workload's
+	// population means nothing to the next — and the capacity behind the
+	// drained classes is pooled here *shared across classes* (capped at
+	// maxSpare) instead of staying pinned per class at each class's own
+	// high-water mark.
 	spare  [][]heap.HandleID
 	byType map[heap.ClassID][]heap.HandleID
 }
@@ -312,7 +321,13 @@ func (c *CG) Attach(rt *vm.Runtime) {
 		c.dsu = t.dsu
 	}
 	if c.cfg.Recycle {
-		c.recycleBuckets = t.recycleBuckets
+		if t.recycleClasses == nil {
+			t.recycleClasses = make([][]heap.HandleID, heap.NumSizeClasses)
+		}
+		t.recycleNonEmpty.Reset(heap.NumSizeClasses)
+		c.recycleClasses = t.recycleClasses
+		c.recycleNonEmpty = t.recycleNonEmpty
+		c.recycleSpill = t.recycleSpill
 		c.spare = t.spare
 	}
 	if c.cfg.TypedRecycle {
@@ -351,21 +366,30 @@ func (c *CG) detach() {
 	of := c.oldFrames[:cap(c.oldFrames)]
 	clear(of)
 	t.oldFrames = of[:0]
-	// Recycle buckets: truncate the size-class list (it never shrinks
-	// within a run and one cell's classes mean nothing to the next) and
-	// return each bucket's scratch slice to the shared spare pool, so a
-	// peak-size cell's scratch is redistributed rather than pinned per
-	// size class forever.
-	buckets := c.recycleBuckets
-	spare := c.spare
-	for i := range buckets {
-		if objs := buckets[i].objs; cap(objs) > 0 && len(spare) < maxSpare {
-			spare = append(spare, objs[:0])
+	// Recycle index: nil out the populated class entries (one cell's
+	// population means nothing to the next) and move each scratch slice
+	// to the shared spare pool, so a peak-size cell's scratch is
+	// redistributed rather than pinned per class forever. The spill list
+	// is truncated the same way the seed's bucket list was.
+	if c.recycleClasses != nil {
+		spare := c.spare
+		for cl, objs := range c.recycleClasses {
+			if objs == nil {
+				continue
+			}
+			if cap(objs) > 0 && len(spare) < maxSpare {
+				spare = append(spare, objs[:0])
+			}
+			c.recycleClasses[cl] = nil
 		}
-		buckets[i] = sizeClassBucket{}
-	}
-	if buckets != nil {
-		t.recycleBuckets = buckets[:0]
+		for i := range c.recycleSpill {
+			if objs := c.recycleSpill[i].objs; cap(objs) > 0 && len(spare) < maxSpare {
+				spare = append(spare, objs[:0])
+			}
+			c.recycleSpill[i] = sizeClassBucket{}
+		}
+		t.recycleClasses = c.recycleClasses
+		t.recycleSpill = c.recycleSpill[:0]
 		t.spare = spare
 	}
 	if c.byType != nil {
@@ -375,7 +399,8 @@ func (c *CG) detach() {
 	// pooled table must not pin a dead shard's heap and arena either.
 	t.msa.Reattach(nil)
 	c.meta, c.sets, c.oldFrames = nil, nil, nil
-	c.recycleBuckets, c.spare, c.byType = nil, nil, nil
+	c.recycleClasses, c.recycleNonEmpty, c.recycleSpill = nil, nil, nil
+	c.spare, c.byType = nil, nil
 	c.dsu, c.packed = nil, nil
 	c.msa = nil
 	tablePool.Put(t)
@@ -670,9 +695,9 @@ func (c *CG) collectSet(root heap.HandleID, f *vm.Frame) {
 		case !c.cfg.Recycle:
 			c.heap.Free(o)
 		case !typed:
-			// The dead object joins its extent-size bucket; the walk
+			// The dead object joins its ladder class; the walk
 			// already visits every member for the histograms, so the
-			// per-object insert costs one map access on top.
+			// per-object insert costs one indexed push on top.
 			c.recycleAdd(o)
 		}
 		o = next
@@ -680,17 +705,17 @@ func (c *CG) collectSet(root heap.HandleID, f *vm.Frame) {
 	s.prev, s.next = heap.Nil, heap.Nil
 }
 
-// sizeClassBucket is one size class of recycled storage: every object
-// on objs is dead-but-heap-live with a slab extent of exactly size
-// bytes.
+// sizeClassBucket is one spill size class of recycled storage: every
+// object on objs is dead-but-heap-live with a slab extent of exactly
+// size bytes, and size exceeds the arena ladder (heap.MaxSmallSize).
 type sizeClassBucket struct {
 	size int
 	objs []heap.HandleID
 }
 
-// bucketLowerBound returns the index of the first bucket whose size is
-// at least size (len(bs) if none) — the shared search behind both the
-// pop-time insert and the fallback's best-fit lookup.
+// bucketLowerBound returns the index of the first spill bucket whose
+// size is at least size (len(bs) if none) — the search behind both the
+// spill insert and the fallback's over-ladder best fit.
 func bucketLowerBound(bs []sizeClassBucket, size int) int {
 	lo, hi := 0, len(bs)
 	for lo < hi {
@@ -704,33 +729,53 @@ func bucketLowerBound(bs []sizeClassBucket, size int) int {
 	return lo
 }
 
-// recycleBucket returns the index of size's bucket in the sorted
-// bucket list, creating it if absent. A new bucket draws its scratch
-// slice from the shared spare pool (filled at detach), so pooled-shard
-// cells build their size classes without touching the Go allocator.
-func (c *CG) recycleBucket(size int) int {
-	bs := c.recycleBuckets
+// takeSpare pops a pooled scratch slice for a first-touch class (nil if
+// the pool is dry; the append then allocates once, the cold path).
+func (c *CG) takeSpare() []heap.HandleID {
+	n := len(c.spare)
+	if n == 0 {
+		return nil
+	}
+	s := c.spare[n-1]
+	c.spare[n-1] = nil
+	c.spare = c.spare[:n-1]
+	return s
+}
+
+// spillBucket returns the index of size's bucket in the sorted spill
+// list, creating it if absent.
+func (c *CG) spillBucket(size int) int {
+	bs := c.recycleSpill
 	lo := bucketLowerBound(bs, size)
 	if lo < len(bs) && bs[lo].size == size {
 		return lo
 	}
-	var objs []heap.HandleID
-	if n := len(c.spare); n > 0 {
-		objs = c.spare[n-1]
-		c.spare[n-1] = nil
-		c.spare = c.spare[:n-1]
-	}
-	c.recycleBuckets = append(c.recycleBuckets, sizeClassBucket{})
-	copy(c.recycleBuckets[lo+1:], c.recycleBuckets[lo:])
-	c.recycleBuckets[lo] = sizeClassBucket{size: size, objs: objs}
+	objs := c.takeSpare()
+	c.recycleSpill = append(c.recycleSpill, sizeClassBucket{})
+	copy(c.recycleSpill[lo+1:], c.recycleSpill[lo:])
+	c.recycleSpill[lo] = sizeClassBucket{size: size, objs: objs}
 	return lo
 }
 
-// recycleAdd pushes a dead-but-heap-live object onto its size-class
-// bucket.
+// recycleAdd pushes a dead-but-heap-live object onto its ladder class —
+// the extent size is align8, so the class is a direct index, no search —
+// or, for extents wider than the ladder, onto its spill bucket.
 func (c *CG) recycleAdd(o heap.HandleID) {
-	i := c.recycleBucket(c.heap.SizeOf(o))
-	b := &c.recycleBuckets[i]
+	size := c.heap.SizeOf(o)
+	if size <= heap.MaxSmallSize {
+		cl := heap.SizeClass(size)
+		objs := c.recycleClasses[cl]
+		if len(objs) == 0 {
+			if objs == nil {
+				objs = c.takeSpare()
+			}
+			c.recycleNonEmpty.Set(cl)
+		}
+		c.recycleClasses[cl] = append(objs, o)
+		return
+	}
+	i := c.spillBucket(size)
+	b := &c.recycleSpill[i]
 	b.objs = append(b.objs, o)
 }
 
@@ -774,15 +819,31 @@ func (c *CG) AllocFallback(cls heap.ClassID, extra int) (heap.HandleID, bool) {
 			return o, true
 		}
 	}
-	// Best fit over the size-class index: the smallest recycled extent
-	// that can hold the request, found with one binary search over the
-	// distinct sizes present — O(log #classes), not the O(objects)
-	// first-fit walk the seed paid on every storm-driven fallback.
-	// Drained buckets are skipped in place (they keep their slot and
-	// capacity for the next storm); the skip is bounded by the
-	// class-bounded bucket count, not the object count.
+	// Best fit over the ladder index: the smallest recycled extent that
+	// can hold the request is the first set bit of recycleNonEmpty at or
+	// after the request's own class — one word-wise bitset scan, O(ladder
+	// words), independent of both object count and populated-class
+	// count. Extents wider than the ladder live in the sorted spill
+	// list; every spill size exceeds every ladder size, so scanning the
+	// ladder first preserves the seed's ascending-size best-fit order.
 	need := heap.InstanceSize(c.heap.ClassDef(cls), extra)
-	bs := c.recycleBuckets
+	if need <= heap.MaxSmallSize {
+		if cl := c.recycleNonEmpty.NextSet(heap.SizeClass(need)); cl >= 0 {
+			objs := c.recycleClasses[cl]
+			n := len(objs)
+			o := objs[n-1]
+			c.recycleClasses[cl] = objs[:n-1]
+			if n == 1 {
+				c.recycleNonEmpty.Clear(cl)
+			}
+			if err := c.heap.Reinit(o, cls, extra); err != nil {
+				panic(err) // ladder class >= need; a failure is a bug
+			}
+			c.stats.Reused++
+			return o, true
+		}
+	}
+	bs := c.recycleSpill
 	for i := bucketLowerBound(bs, need); i < len(bs); i++ {
 		b := &bs[i]
 		if n := len(b.objs); n > 0 {
@@ -895,13 +956,24 @@ func (c *CG) endCycle(int) {
 // The runtime calls Collect (which flushes) on exhaustion; experiments
 // call this at end-of-run so heap accounting balances.
 func (c *CG) FlushRecycle() {
-	for i := range c.recycleBuckets {
-		b := &c.recycleBuckets[i]
+	// Ascending ladder classes, then ascending spill sizes — the same
+	// ascending-extent-size free order the seed's sorted bucket list
+	// produced, so the arena sees an identical release sequence.
+	for cl := c.recycleNonEmpty.NextSet(0); cl >= 0; cl = c.recycleNonEmpty.NextSet(cl + 1) {
+		objs := c.recycleClasses[cl]
+		for _, o := range objs {
+			c.heap.Free(o)
+		}
+		// Keep the drained class (and its capacity) in place: the next
+		// churn cycle refills it without touching the Go heap.
+		c.recycleClasses[cl] = objs[:0]
+		c.recycleNonEmpty.Clear(cl)
+	}
+	for i := range c.recycleSpill {
+		b := &c.recycleSpill[i]
 		for _, o := range b.objs {
 			c.heap.Free(o)
 		}
-		// Keep the drained bucket (and its capacity) in place: the
-		// next churn cycle refills it without touching the Go heap.
 		b.objs = b.objs[:0]
 	}
 	for cls, bucket := range c.byType {
@@ -913,10 +985,13 @@ func (c *CG) FlushRecycle() {
 }
 
 // RecycledObjects counts objects currently waiting as recycled storage
-// (size-class buckets plus the typed per-class buckets).
+// (ladder classes, spill buckets, plus the typed per-class buckets).
 func (c *CG) RecycledObjects() int {
 	n := 0
-	for _, b := range c.recycleBuckets {
+	for cl := c.recycleNonEmpty.NextSet(0); cl >= 0; cl = c.recycleNonEmpty.NextSet(cl + 1) {
+		n += len(c.recycleClasses[cl])
+	}
+	for _, b := range c.recycleSpill {
 		n += len(b.objs)
 	}
 	for _, bucket := range c.byType {

@@ -752,13 +752,12 @@ func TestBreakdownMerge(t *testing.T) {
 	}
 }
 
-// TestDetachReturnsRecycleScratch pins the recycle-bucket detach
-// contract: when a pooled shard replaces its collector, the size-class
-// list is truncated (one cell's classes mean nothing to the next — and
-// the list used to grow monotonically across a sweep) and each
-// drained bucket's scratch slice moves to the shared spare pool
-// instead of staying pinned to its size class; subsequent bucket
-// creation draws from that pool.
+// TestDetachReturnsRecycleScratch pins the recycle-index detach
+// contract: when a pooled shard replaces its collector, the populated
+// ladder-class entries are nilled (one cell's population means nothing
+// to the next) and each drained class's scratch slice moves to the
+// shared spare pool instead of staying pinned to its class; subsequent
+// first-touch class creation draws from that pool.
 func TestDetachReturnsRecycleScratch(t *testing.T) {
 	h := heap.New(1 << 16)
 	small := h.DefineClass(heap.Class{Name: "S", Refs: 1, Data: 0})
@@ -766,28 +765,32 @@ func TestDetachReturnsRecycleScratch(t *testing.T) {
 	cg := New(Config{StaticOpt: true, Recycle: true})
 	rt := vm.New(h, cg)
 	th := rt.NewThread(0)
-	// Two size classes' worth of dead objects.
+	// Two ladder classes' worth of dead objects.
 	th.CallVoid(2, func(f *vm.Frame) {
 		for i := 0; i < 16; i++ {
 			f.SetLocal(0, f.MustNew(small))
 			f.SetLocal(1, f.MustNew(big))
 		}
 	})
-	if got := len(cg.recycleBuckets); got != 2 {
-		t.Fatalf("size classes = %d, want 2", got)
-	}
-	for _, b := range cg.recycleBuckets {
-		if len(b.objs) == 0 {
-			t.Fatalf("bucket %d empty before detach", b.size)
+	populated := 0
+	for cl := cg.recycleNonEmpty.NextSet(0); cl >= 0; cl = cg.recycleNonEmpty.NextSet(cl + 1) {
+		if len(cg.recycleClasses[cl]) == 0 {
+			t.Fatalf("class %d flagged non-empty but empty", cl)
 		}
+		populated++
+	}
+	if populated != 2 {
+		t.Fatalf("populated ladder classes = %d, want 2", populated)
 	}
 	tab := cg.tab
 	rt.Reset(New(Config{StaticOpt: true, Recycle: true})) // fires detach
-	if len(tab.recycleBuckets) != 0 {
-		t.Fatalf("pooled bucket list not truncated: %d entries", len(tab.recycleBuckets))
+	if len(tab.recycleClasses) != heap.NumSizeClasses {
+		t.Fatalf("pooled class array len %d, want %d", len(tab.recycleClasses), heap.NumSizeClasses)
 	}
-	if cap(tab.recycleBuckets) == 0 {
-		t.Fatal("pooled bucket list lost its capacity")
+	for cl, objs := range tab.recycleClasses {
+		if objs != nil {
+			t.Fatalf("pooled class %d still holds a slice", cl)
+		}
 	}
 	if len(tab.spare) != 2 {
 		t.Fatalf("spare scratch slices = %d, want 2", len(tab.spare))
@@ -797,7 +800,24 @@ func TestDetachReturnsRecycleScratch(t *testing.T) {
 			t.Fatalf("spare[%d]: len %d cap %d, want empty with capacity", i, len(s), cap(s))
 		}
 	}
-	if cg.recycleBuckets != nil || cg.spare != nil {
+	if cg.recycleClasses != nil || cg.spare != nil || cg.recycleNonEmpty != nil {
 		t.Fatal("detached collector still holds recycle scratch")
+	}
+	// A recycled table's spare pool feeds the next cell's first-touch
+	// classes: run the same workload again on a fresh collector drawing
+	// from the pool and confirm recycling still engages.
+	cg2 := New(Config{StaticOpt: true, Recycle: true})
+	rt.Reset(cg2)
+	small2 := h.DefineClass(heap.Class{Name: "S", Refs: 1, Data: 0})
+	big2 := h.DefineClass(heap.Class{Name: "B", Refs: 2, Data: 64})
+	th2 := rt.NewThread(0)
+	th2.CallVoid(2, func(f *vm.Frame) {
+		for i := 0; i < 16; i++ {
+			f.SetLocal(0, f.MustNew(small2))
+			f.SetLocal(1, f.MustNew(big2))
+		}
+	})
+	if cg2.RecycledObjects() == 0 {
+		t.Fatal("recycling inert after table recycling")
 	}
 }

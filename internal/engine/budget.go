@@ -4,45 +4,13 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 )
 
-// heapBudget is the admission throttle behind SetMaxHeapBytes: a
-// counting semaphore over arena bytes. acquire blocks until the charge
-// fits under the cap — except that a charge larger than the whole cap
-// is admitted once the pool is otherwise empty, so one oversized shard
-// degrades to sequential execution instead of deadlocking.
-type heapBudget struct {
-	max   int64
-	mu    sync.Mutex
-	cond  *sync.Cond
-	inUse int64
-}
-
-func newHeapBudget(max int64) *heapBudget {
-	b := &heapBudget{max: max}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// acquire blocks until bytes fits: inUse+bytes <= max, or the pool is
-// empty (the oversized-job escape hatch).
-func (b *heapBudget) acquire(bytes int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for b.inUse != 0 && b.inUse+bytes > b.max {
-		b.cond.Wait()
-	}
-	b.inUse += bytes
-}
-
-// release returns bytes to the budget and wakes blocked admissions.
-func (b *heapBudget) release(bytes int64) {
-	b.mu.Lock()
-	b.inUse -= bytes
-	b.mu.Unlock()
-	b.cond.Broadcast()
-}
+// The admission throttle behind SetMaxHeapBytes lives in heap.Reserve: a
+// process-wide byte reserve that every shard arena is drawn against in
+// full before its job runs. See SetMaxHeapBytes for the engine-side
+// wiring (pooled shards retain their reservations; eviction surrenders
+// them under pressure).
 
 // ParseByteSize parses a human byte count for -max-heap-bytes style
 // flags: a plain integer is bytes; KiB/MiB/GiB (or K/M/G) suffixes

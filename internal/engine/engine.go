@@ -22,12 +22,14 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/collectors"
 	"repro/internal/heap"
+	"repro/internal/msa"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -113,11 +115,11 @@ func ArenaBytes(job Job) (int, error) {
 // Engine.Exec for throttled admission.
 func Exec(job Job) Result { return exec(job, nil) }
 
-// exec is the shared job body. With a non-nil pool it starts from a
-// Reset pooled shard of the right arena size when one is available; it
+// exec is the shared job body. With a non-nil rt it starts from that
+// Reset pooled shard (whose arena size must match the job's budget); it
 // never returns shards to the pool itself — the caller does, once the
 // Result can no longer escape (see ExecRelease).
-func exec(job Job, pool *shardPool) (res Result) {
+func exec(job Job, rt *vm.Runtime) (res Result) {
 	res.Job = job
 	defer func() {
 		if r := recover(); r != nil {
@@ -146,10 +148,6 @@ func exec(job Job, pool *shardPool) (res Result) {
 		reps = 1
 	}
 
-	var rt *vm.Runtime
-	if pool != nil {
-		rt = pool.get(bytes)
-	}
 	start := time.Now()
 	for i := 0; i < reps; i++ {
 		// The forced-collection instrumentation is a declarative field
@@ -176,15 +174,31 @@ func exec(job Job, pool *shardPool) (res Result) {
 // concurrent use.
 type Engine struct {
 	workers int
-	budget  *heapBudget // nil when uncapped
+	reserve *heap.Reserve // nil when uncapped
 	pool    *shardPool
 }
 
+// occupancyOnce gates the one-time saturation notice New prints when
+// sweep workers already cover every CPU.
+var occupancyOnce sync.Once
+
 // New returns an engine with the given worker count; workers <= 0
-// selects GOMAXPROCS (saturate the hardware).
+// selects GOMAXPROCS (saturate the hardware). When the chosen worker
+// count saturates GOMAXPROCS, New tells msa-style collectors to stop
+// defaulting to parallel tracing inside each shard — every CPU is
+// already running a sweep worker, so intra-shard trace goroutines would
+// only contend — and logs the downgrade once. An explicit
+// -trace-workers setting still wins.
 func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers >= runtime.GOMAXPROCS(0) {
+		msa.SetTraceOccupancySaturated(true)
+		occupancyOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "engine: %d sweep workers saturate GOMAXPROCS=%d; msa trace-workers default to 1 per shard\n",
+				workers, runtime.GOMAXPROCS(0))
+		})
 	}
 	return &Engine{workers: workers, pool: newShardPool(workers)}
 }
@@ -193,46 +207,72 @@ func New(workers int) *Engine {
 func (e *Engine) Workers() int { return e.workers }
 
 // SetMaxHeapBytes caps the aggregate arena bytes of concurrently
-// admitted jobs (n <= 0 removes the cap) and returns e for chaining.
-// Every job path that knows its arena budget — Exec, Run, RunEach,
-// Stream — blocks admission while running jobs hold cap-exceeding
-// budgets, so -workers 16 of 512 MiB demographics arenas cannot thrash
-// an 8 GiB machine. A single job larger than the cap is admitted alone
-// rather than deadlocking: the cap throttles aggregate pressure, it is
-// not a per-job limit. Set before submitting work; the cap does not
-// apply to the generic Do, which has no job to charge.
+// resident shards (n <= 0 removes the cap) and returns e for chaining.
+// The cap is an exact admission check against a process-wide byte
+// reserve: every shard's full arena is acquired from the reserve before
+// its job runs, and a shard — running or pooled — keeps its reservation
+// until it is dropped. Resident arena bytes therefore never exceed the
+// cap, pooled idle shards included; under pressure the reserve evicts
+// pooled shards (largest arena first) before blocking admission. A
+// single job larger than the cap is admitted alone rather than
+// deadlocking: the cap throttles aggregate pressure, it is not a
+// per-job limit. Set before submitting work (changing the cap drains
+// the shard pool, since pooled shards carry the old regime's
+// reservations); the cap does not apply to the generic Do, which has no
+// job to charge.
 func (e *Engine) SetMaxHeapBytes(n int64) *Engine {
+	e.pool.drain()
 	if n <= 0 {
-		e.budget = nil
-	} else {
-		e.budget = newHeapBudget(n)
+		e.reserve = nil
+		return e
 	}
+	r := heap.NewReserve(n)
+	pool := e.pool
+	r.SetEvict(func() bool {
+		if bytes, ok := pool.evictOne(); ok {
+			r.Release(int64(bytes))
+			return true
+		}
+		return false
+	})
+	e.reserve = r
 	return e
 }
 
 // MaxHeapBytes reports the aggregate cap (0 = uncapped).
 func (e *Engine) MaxHeapBytes() int64 {
-	if e.budget == nil {
+	if e.reserve == nil {
 		return 0
 	}
-	return e.budget.max
+	return e.reserve.Max()
+}
+
+// ReservedBytes reports the arena bytes currently drawn from the cap's
+// reserve by running and pooled shards (0 when uncapped).
+func (e *Engine) ReservedBytes() int64 {
+	if e.reserve == nil {
+		return 0
+	}
+	return e.reserve.Reserved()
 }
 
 // Exec runs one job in the caller's goroutine, first acquiring the
-// job's arena budget from the engine's memory cap (blocking while
-// admission would push aggregate arena bytes over the cap). This is the
-// admission-controlled entry the distribution worker uses for jobs that
-// arrive one at a time rather than as a batch.
+// job's arena bytes from the engine's reserve (blocking, after evicting
+// pooled shards, while admission would push aggregate arena bytes over
+// the cap). This is the admission-controlled entry the distribution
+// worker uses for jobs that arrive one at a time rather than as a
+// batch.
 func (e *Engine) Exec(job Job) Result {
-	if e.budget == nil {
+	reserve := e.reserve
+	if reserve == nil {
 		return Exec(job)
 	}
 	bytes, err := ArenaBytes(job)
 	if err != nil {
 		return Result{Job: job, Err: err}
 	}
-	e.budget.acquire(int64(bytes))
-	defer e.budget.release(int64(bytes))
+	reserve.Acquire(int64(bytes))
+	defer reserve.Release(int64(bytes))
 	return Exec(job)
 }
 
@@ -242,32 +282,31 @@ func (e *Engine) Exec(job Job) Result {
 // runtime construction. The Result, its RT and its Col are only valid
 // until consume returns: extract what the merge needs, drop the rest.
 // A shard that panicked mid-run is discarded, never recycled.
+//
+// Under a memory cap, reservations travel with shards: a fresh shard
+// acquires its arena bytes before construction, a pooled shard arrives
+// already holding them, and whichever shard is retained in the pool
+// afterwards keeps them (the reserve's evict hook reclaims pooled
+// reservations when admission stalls). Dropped shards release theirs
+// immediately.
 func (e *Engine) ExecRelease(job Job, consume func(Result)) {
-	var bytes int
-	if e.budget != nil || e.pool != nil {
-		var err error
-		if bytes, err = ArenaBytes(job); err != nil {
-			consume(Result{Job: job, Err: err})
-			return
-		}
+	bytes, err := ArenaBytes(job)
+	if err != nil {
+		consume(Result{Job: job, Err: err})
+		return
 	}
-	if e.budget != nil {
-		e.budget.acquire(int64(bytes))
-		defer e.budget.release(int64(bytes))
+	reserve := e.reserve
+	rt := e.pool.get(bytes)
+	if rt == nil && reserve != nil {
+		reserve.Acquire(int64(bytes))
 	}
-	// Pooling is disabled under a memory cap: a pooled idle shard keeps
-	// its whole arena and handle table resident while its budget bytes
-	// have been released back to admission, which would let resident
-	// memory exceed the cap by workers x arena. The cap buys memory
-	// honesty at the price of per-cell construction.
-	pool := e.pool
-	if e.budget != nil {
-		pool = nil
-	}
-	r := exec(job, pool)
+	r := exec(job, rt)
 	consume(r)
-	if r.Err == nil && r.RT != nil && pool != nil {
-		pool.put(bytes, r.RT)
+	if r.Err == nil && r.RT != nil && e.pool.put(bytes, r.RT) {
+		return // the pooled shard keeps its reservation
+	}
+	if reserve != nil {
+		reserve.Release(int64(bytes))
 	}
 }
 

@@ -113,12 +113,12 @@ func TestStreamConsumerMayLag(t *testing.T) {
 	}
 }
 
-func TestHeapBudgetThrottlesAdmission(t *testing.T) {
+func TestReserveThrottlesAdmission(t *testing.T) {
 	// Cap = 1.5 shards: at most one 1 MiB shard may be in flight at a
-	// time, so concurrency observed inside acquire/release never
+	// time, so concurrency observed inside Acquire/Release never
 	// exceeds 1 even on an 8-worker pool.
 	const shard = 1 << 20
-	b := newHeapBudget(shard * 3 / 2)
+	r := heap.NewReserve(shard * 3 / 2)
 	var cur, peak int64
 	var wg sync.WaitGroup
 	done := make(chan struct{})
@@ -127,12 +127,12 @@ func TestHeapBudgetThrottlesAdmission(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 16; j++ {
-				b.acquire(shard)
+				r.Acquire(shard)
 				if c := atomic.AddInt64(&cur, 1); c > atomic.LoadInt64(&peak) {
 					atomic.StoreInt64(&peak, c)
 				}
 				atomic.AddInt64(&cur, -1)
-				b.release(shard)
+				r.Release(shard)
 			}
 		}()
 	}
@@ -140,14 +140,14 @@ func TestHeapBudgetThrottlesAdmission(t *testing.T) {
 	select {
 	case <-done:
 	case <-time.After(30 * time.Second):
-		t.Fatal("budget deadlocked")
+		t.Fatal("reserve deadlocked")
 	}
 	if p := atomic.LoadInt64(&peak); p > 1 {
-		t.Fatalf("budget admitted %d concurrent shards under a 1.5-shard cap", p)
+		t.Fatalf("reserve admitted %d concurrent shards under a 1.5-shard cap", p)
 	}
 }
 
-func TestHeapBudgetAdmitsOversizedJobAlone(t *testing.T) {
+func TestReserveAdmitsOversizedJobAlone(t *testing.T) {
 	eng := New(4).SetMaxHeapBytes(1 << 20) // cap far below the 512 MiB default arena
 	done := make(chan Result, 1)
 	go func() { done <- eng.Exec(Job{Workload: "compress", Size: 1, Collector: "cg"}) }()

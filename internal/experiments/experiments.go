@@ -17,18 +17,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/heap"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/workload"
 )
 
 // Cell is the small extract a demographics consumer needs from one
-// shard: the end-of-run classification, the CG counters and the forced
-// traditional-collection count (Fig 4.11).
+// shard: the end-of-run classification, the CG counters, the forced
+// traditional-collection count (Fig 4.11) and the shard's arena
+// occupancy (cgstats -arena-stats).
 type Cell struct {
-	B  core.Breakdown
-	St core.Stats
-	GC int
+	B    core.Breakdown
+	St   core.Stats
+	GC   int
+	Info heap.Info
 }
 
 // RunDemographics executes demographics jobs on the engine and returns
@@ -50,7 +53,7 @@ func RunDemographics(eng *engine.Engine, jobs []engine.Job) ([]Cell, error) {
 			errs[i] = fmt.Errorf("experiments: %q is not the contaminated collector", jobs[i].Collector)
 			return
 		}
-		cells[i] = Cell{B: cg.Snapshot(), St: cg.Stats(), GC: r.RT.GCCycles()}
+		cells[i] = Cell{B: cg.Snapshot(), St: cg.Stats(), GC: r.RT.GCCycles(), Info: r.RT.Heap.Arena().Info()}
 	})
 	// Fail on the caller's goroutine, not a worker's.
 	for _, err := range errs {

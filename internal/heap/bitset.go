@@ -38,6 +38,28 @@ func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
 // Clear clears bit i.
 func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
 
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// none. It scans word-at-a-time, so a sparse upward search (the recycle
+// index's best-fit class scan) costs O(words), not O(bits).
+func (b Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i >> 6
+	if w >= len(b) {
+		return -1
+	}
+	if m := b[w] &^ (1<<(uint(i)&63) - 1); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m)
+	}
+	for w++; w < len(b); w++ {
+		if m := b[w]; m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
 // Count reports the number of set bits.
 func (b Bitset) Count() int {
 	n := 0

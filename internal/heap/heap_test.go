@@ -6,8 +6,8 @@ import (
 	"testing/quick"
 )
 
-func TestArenaAllocFree(t *testing.T) {
-	a := NewArena(1024)
+func TestSpanArenaAllocFree(t *testing.T) {
+	a := NewSpanArena(1024)
 	if a.FreeBytes() != 1024 || a.InUse() != 0 {
 		t.Fatalf("fresh arena accounting wrong: free=%d inUse=%d", a.FreeBytes(), a.InUse())
 	}
@@ -35,8 +35,8 @@ func TestArenaAllocFree(t *testing.T) {
 	}
 }
 
-func TestArenaExhaustion(t *testing.T) {
-	a := NewArena(256)
+func TestSpanArenaExhaustion(t *testing.T) {
+	a := NewSpanArena(256)
 	if _, err := a.Alloc(256); err != nil {
 		t.Fatal(err)
 	}
@@ -45,8 +45,8 @@ func TestArenaExhaustion(t *testing.T) {
 	}
 }
 
-func TestArenaFirstFitFromCursor(t *testing.T) {
-	a := NewArena(1000)
+func TestSpanArenaFirstFitFromCursor(t *testing.T) {
+	a := NewSpanArena(1000)
 	// Carve three blocks; the cursor now sits at 300. Free block 1: the
 	// allocator must NOT reuse its hole (it is behind the cursor) while
 	// untouched space remains ahead.
@@ -83,8 +83,8 @@ func TestArenaFirstFitFromCursor(t *testing.T) {
 	}
 }
 
-func TestArenaCoalesceMiddle(t *testing.T) {
-	a := NewArena(300)
+func TestSpanArenaCoalesceMiddle(t *testing.T) {
+	a := NewSpanArena(300)
 	p1, _ := a.Alloc(100)
 	p2, _ := a.Alloc(100)
 	p3, _ := a.Alloc(100)
@@ -99,8 +99,8 @@ func TestArenaCoalesceMiddle(t *testing.T) {
 	}
 }
 
-func TestArenaDoubleFreePanics(t *testing.T) {
-	a := NewArena(128)
+func TestSpanArenaDoubleFreePanics(t *testing.T) {
+	a := NewSpanArena(128)
 	p, _ := a.Alloc(64)
 	a.Free(p, 64)
 	defer func() {
@@ -111,11 +111,11 @@ func TestArenaDoubleFreePanics(t *testing.T) {
 	a.Free(p, 64)
 }
 
-// TestArenaRandomized drives a random alloc/free workload and checks the
+// TestSpanArenaRandomized drives a random alloc/free workload and checks the
 // structural invariants after every operation (DESIGN.md §5.5).
-func TestArenaRandomized(t *testing.T) {
+func TestSpanArenaRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	a := NewArena(1 << 16)
+	a := NewSpanArena(1 << 16)
 	type ext struct{ addr, size int }
 	var live []ext
 	for step := 0; step < 5000; step++ {
@@ -146,11 +146,11 @@ func TestArenaRandomized(t *testing.T) {
 	}
 }
 
-// TestArenaFillDrain property: allocating until exhaustion and freeing
+// TestSpanArenaFillDrain property: allocating until exhaustion and freeing
 // everything restores a single maximal span (quick).
-func TestArenaFillDrain(t *testing.T) {
+func TestSpanArenaFillDrain(t *testing.T) {
 	check := func(sizes []uint8) bool {
-		a := NewArena(1 << 12)
+		a := NewSpanArena(1 << 12)
 		var exts [][2]int
 		for _, s := range sizes {
 			size := 8 * (1 + int(s)%32)

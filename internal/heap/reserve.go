@@ -1,0 +1,98 @@
+package heap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Reserve is a process-wide byte budget that arenas are drawn against:
+// every shard arena's full capacity is reserved before the shard runs
+// and released when the shard is discarded, so a -max-heap-bytes cap is
+// an *exact* admission check — the sum of reserved bytes never exceeds
+// the cap, and an admitted job can never OOM the reserve, because the
+// arena cannot grow past the capacity that was reserved for it.
+//
+// Admission blocks until enough reserved bytes are released. A request
+// larger than the cap itself admits only when the reserve is otherwise
+// empty (runs alone), so a single oversized cell degrades to sequential
+// execution instead of deadlocking the sweep. An optional evict hook
+// lets the owner surrender idle reservations (pooled shards) before a
+// request waits.
+type Reserve struct {
+	max   int64
+	evict func() bool // try to release an idle reservation; reports progress
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	reserved int64
+}
+
+// NewReserve returns a reserve admitting up to max bytes.
+func NewReserve(max int64) *Reserve {
+	if max <= 0 {
+		panic(fmt.Sprintf("heap: non-positive reserve %d", max))
+	}
+	r := &Reserve{max: max}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Max reports the reserve's byte cap.
+func (r *Reserve) Max() int64 { return r.max }
+
+// Reserved reports currently reserved bytes.
+func (r *Reserve) Reserved() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reserved
+}
+
+// SetEvict installs the eviction hook, called (without the reserve's
+// lock held) when an acquisition would otherwise wait. It must return
+// true only if it released reserve bytes. Set before concurrent use.
+func (r *Reserve) SetEvict(evict func() bool) { r.evict = evict }
+
+// Acquire blocks until n bytes fit under the cap and reserves them. The
+// oversized escape: when nothing is reserved, any n is admitted.
+func (r *Reserve) Acquire(n int64) {
+	r.mu.Lock()
+	for r.reserved != 0 && r.reserved+n > r.max {
+		if evict := r.evict; evict != nil {
+			r.mu.Unlock()
+			progressed := evict()
+			r.mu.Lock()
+			if progressed {
+				continue
+			}
+			if r.reserved == 0 || r.reserved+n <= r.max {
+				break
+			}
+		}
+		r.cond.Wait()
+	}
+	r.reserved += n
+	r.mu.Unlock()
+}
+
+// TryAcquire reserves n bytes if they fit (or the reserve is empty)
+// without blocking or evicting; it reports whether it did.
+func (r *Reserve) TryAcquire(n int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.reserved != 0 && r.reserved+n > r.max {
+		return false
+	}
+	r.reserved += n
+	return true
+}
+
+// Release returns n reserved bytes and wakes waiters.
+func (r *Reserve) Release(n int64) {
+	r.mu.Lock()
+	r.reserved -= n
+	if r.reserved < 0 {
+		panic("heap: reserve released more than acquired")
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}

@@ -96,6 +96,22 @@ func SetDefaultTrace(workers, minLive int) {
 	defaultTraceMinLive.Store(int64(minLive))
 }
 
+// traceOccupancySaturated records that sweep workers already occupy
+// every CPU (the engine sets it when its worker count reaches
+// GOMAXPROCS). It downgrades only the *automatic* worker resolution to
+// sequential tracing — an explicit -trace-workers or SetTrace choice
+// still wins — closing the ROADMAP trace-balance item: duplicated
+// parallel tracing has no idle cores to hide on under a saturating
+// sweep.
+var traceOccupancySaturated atomic.Bool
+
+// SetTraceOccupancySaturated tells automatic trace-worker resolution
+// whether the process's cores are already saturated by sweep workers
+// (true → hook-free cycles default to sequential tracing).
+func SetTraceOccupancySaturated(saturated bool) {
+	traceOccupancySaturated.Store(saturated)
+}
+
 // SetTrace overrides the package defaults for this engine only (0
 // keeps the package default for that knob).
 func (m *Collector) SetTrace(workers, minLive int) {
@@ -111,6 +127,9 @@ func (m *Collector) parallelWorkers(h *heap.Heap) int {
 		w = int(defaultTraceWorkers.Load())
 	}
 	if w == 0 {
+		if traceOccupancySaturated.Load() {
+			return 1
+		}
 		w = runtime.GOMAXPROCS(0)
 		if w > maxTraceWorkers {
 			w = maxTraceWorkers

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gengc"
+	"repro/internal/heap"
 	"repro/internal/msa"
 )
 
@@ -46,7 +47,12 @@ type Outcome struct {
 	GCCycles int           `json:"gc_cycles,omitempty"`
 	Instr    uint64        `json:"instr,omitempty"`
 	Err      string        `json:"err,omitempty"`
-	Payload  Payload       `json:"payload"`
+	// Arena is the shard's end-of-run arena occupancy (the slab arena's
+	// O(1) Info counters). Wall-clock-independent but address- and
+	// allocator-layout-dependent, so it is versioned by the store key
+	// (keyVersion v2), never part of table rendering.
+	Arena   *heap.Info `json:"arena,omitempty"`
+	Payload Payload    `json:"payload"`
 }
 
 // Payload is the typed per-collector extract; Kind names the registry
@@ -79,6 +85,8 @@ func Extract(r engine.Result) Outcome {
 	if r.RT != nil {
 		o.GCCycles = r.RT.GCCycles()
 		o.Instr = r.RT.Instr()
+		info := r.RT.Heap.Arena().Info()
+		o.Arena = &info
 	}
 	switch col := r.Col.(type) {
 	case *core.CG:

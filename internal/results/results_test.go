@@ -31,6 +31,9 @@ func TestCodecRoundTripsTypedPayloads(t *testing.T) {
 	}
 	for _, job := range jobs {
 		o := exec(t, job)
+		if o.Arena == nil || o.Arena.Capacity <= 0 || o.Arena.HeapBytes > o.Arena.Capacity {
+			t.Fatalf("Extract(%s) arena occupancy missing or inconsistent: %+v", job.Collector, o.Arena)
+		}
 		line, err := Encode(o)
 		if err != nil {
 			t.Fatalf("Encode(%s): %v", job.Collector, err)

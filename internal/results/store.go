@@ -15,7 +15,10 @@ import (
 // keyVersion stamps the cell-identity scheme. Bump it when Outcome's
 // schema or a key component's meaning changes: old files simply stop
 // matching and cells recompute, instead of deserialising garbage.
-const keyVersion = "v1"
+// v2: Outcome grew the Arena occupancy extract (the slab-arena Info
+// counters), whose values depend on the allocator's page/size-class
+// layout — v1 cells predate that layout and must recompute.
+const keyVersion = "v2"
 
 // Key is the canonical identity of a cell: every field that determines
 // its deterministic outcome. The collector spec is canonicalised
