@@ -98,6 +98,50 @@ func TestSteadyStateArenaOpAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateCycleAllocs pins the full collection cycle — mark,
+// sweep, and the cycle-timeline recording vm.ForceCollect now wraps
+// around it — at zero allocations per cycle in steady state, for every
+// registered collector spec. The timeline's buffers are fixed-size
+// arrays embedded in the runtime and its default clock is a shared
+// func value, so instrumented cycles must cost no Go-heap traffic
+// beyond the collector's own (warmed) work lists. A spec with no
+// Collect capability still exercises the instrumentation's
+// nothing-to-collect path.
+func TestSteadyStateCycleAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful unraced")
+	}
+	for _, spec := range collectors.AllSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			col, err := collectors.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := NewHeap(1 << 20)
+			cls := h.DefineClass(Class{Name: "Node", Refs: 2, Data: 8})
+			rt := NewRuntime(h, col)
+			th := rt.NewThread(2)
+			f := th.Top()
+			// A little live graph plus churn so mark and sweep both do work.
+			a, b := f.MustNew(cls), f.MustNew(cls)
+			f.SetLocal(0, a)
+			f.SetLocal(1, b)
+			f.PutField(a, 0, b)
+			churn := func(inner *Frame) { inner.SetLocal(0, inner.MustNew(cls)) }
+			step := func() {
+				th.CallVoid(1, churn)
+				rt.ForceCollect()
+			}
+			for i := 0; i < 8; i++ { // warm mark bitsets, work lists, the timeline clock
+				step()
+			}
+			if n := testing.AllocsPerRun(100, step); n != 0 {
+				t.Fatalf("steady-state collection cycle allocates %v objects/op under %s", n, spec)
+			}
+		})
+	}
+}
+
 // TestSteadyStateChurnAllocs pins the allocate-and-die loop — the §3.7
 // recycling path and the slab heap's extent reuse — at zero Go
 // allocations per op: a dead handle's slab extent and ID are recycled,

@@ -11,6 +11,16 @@
 // Usage:
 //
 //	cgstats [-size N] [-collector spec] [-noopt] [-bench name] [-workers N] [-arena-stats]
+//	cgstats -pauses -gc-every 100000      # pause-time distributions under forced MSA cycles
+//
+// -pauses appends a per-benchmark pause-time table — cycle counts,
+// p50/p95/max stop-the-world pause, cumulative mark and sweep time, and
+// the log-scale pause histogram's non-empty buckets. Demographics cells
+// run with the traditional collector idle, so pair -pauses with
+// -gc-every N (force a full collection every N runtime operations) or a
+// collector variant that actually cycles; otherwise the table reports
+// zero cycles. Pause durations are wall-clock measurements and vary run
+// to run — everything else in cgstats's output stays deterministic.
 package main
 
 import (
@@ -18,12 +28,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/collectors"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/msa"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/workload"
@@ -45,6 +57,10 @@ func main() {
 		"exact arena-byte cap for concurrently resident shards, pooled included (e.g. 2GiB; 0 = unlimited)")
 	arenaStats := flag.Bool("arena-stats", false,
 		"append a per-benchmark arena occupancy table (capacity / heap / alloc / overhead from the slab arena's O(1) counters)")
+	pauses := flag.Bool("pauses", false,
+		"append a per-benchmark pause-time distribution table (pair with -gc-every so cycles actually run)")
+	gcEvery := flag.Uint64("gc-every", 0,
+		"force a full traditional collection every N runtime operations (0 = off; the §4.7 resetting instrumentation)")
 	flag.Parse()
 	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 
@@ -85,7 +101,7 @@ func main() {
 	// disabled … plenty of storage", §4.5).
 	jobs := make([]engine.Job, len(specs))
 	for i, s := range specs {
-		jobs[i] = engine.Job{Workload: s.Name, Size: *size, Collector: spec}
+		jobs[i] = engine.Job{Workload: s.Name, Size: *size, Collector: spec, GCEvery: *gcEvery}
 	}
 	// RunDemographics releases each shard's runtime as soon as its
 	// counters are extracted; a size-100 sweep would otherwise keep
@@ -137,4 +153,46 @@ func main() {
 		fmt.Println()
 		fmt.Print(at)
 	}
+	if *pauses {
+		// Per-cell pause-time distributions from the cycle timelines. The
+		// merged total row demonstrates the order-independent histogram
+		// merge the stored outcomes rely on.
+		pt := table.New("Collection pause times",
+			"benchmark", "cycles", "p50", "p95", "max", "mark", "sweep", "pause buckets")
+		var total obs.CycleStats
+		for i, s := range specs {
+			cs := cells[i].Obs
+			total.Merge(&cs)
+			pt.Rowf(s.Name, cs.Cycles, cs.Pause.Quantile(0.50), cs.Pause.Quantile(0.95),
+				cs.Pause.Max(), time.Duration(cs.MarkNS), time.Duration(cs.SweepNS),
+				bucketSummary(&cs.Pause))
+		}
+		if len(specs) > 1 {
+			pt.Rowf("total", total.Cycles, total.Pause.Quantile(0.50), total.Pause.Quantile(0.95),
+				total.Pause.Max(), time.Duration(total.MarkNS), time.Duration(total.SweepNS),
+				bucketSummary(&total.Pause))
+		}
+		fmt.Println()
+		fmt.Print(pt)
+	}
+}
+
+// bucketSummary renders a histogram's non-empty buckets as
+// "≤bound:count" pairs — the full distribution, without 40 columns of
+// mostly zeros.
+func bucketSummary(h *obs.Histogram) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "≤%v:%d", time.Duration(obs.BucketBound(i)), n)
+	}
+	return b.String()
 }

@@ -12,6 +12,13 @@
 //	cgsweep -procs 4                      # fan cells out to 4 cgworker processes
 //	cgsweep -store cells/                 # persist cells; a rerun skips completed ones
 //	cgsweep -max-heap-bytes 2GiB          # bound aggregate arena bytes per process
+//	cgsweep -debug-addr localhost:6060    # live pprof + JSON progress while it runs
+//
+// -debug-addr serves net/http/pprof and a JSON snapshot (/progress) of
+// the sweep's live state — cells stored/computed/in-flight, queue
+// depth, per-worker utilization, heap-reservation occupancy — without
+// touching the deterministic stdout stream. Each completed figure also
+// prints an elapsed-time and cells-per-second line to stderr.
 //
 // With -store, a killed sweep (power cut, OOM kill, ^C) is restarted
 // with the same command line and completes from where it died: cells
@@ -32,11 +39,13 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/msa"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -52,6 +61,8 @@ func main() {
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	maxHeap := flag.String("max-heap-bytes", "0",
 		"exact arena-byte cap for concurrently resident shards, per process, pooled included (e.g. 2GiB; 0 = unlimited)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve pprof and a JSON progress snapshot on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 
@@ -71,7 +82,13 @@ func main() {
 		fatal(err)
 	}
 
+	// The progress counters exist regardless of -debug-addr: they feed
+	// the per-figure stderr line too, and cost nothing on hot paths
+	// (every update is at a cell boundary).
+	prog := &obs.Progress{}
+
 	var backend results.Backend
+	var eng *engine.Engine
 	if *procs > 0 {
 		bin, err := workerBinary(*workerCmd)
 		if err != nil {
@@ -85,9 +102,10 @@ func main() {
 		}
 		argv := []string{bin, "-workers", strconv.Itoa(perChild), "-max-heap-bytes", strconv.FormatInt(heapCap, 10),
 			"-trace-workers", strconv.Itoa(*traceWorkers), "-trace-min-live", strconv.Itoa(*traceMinLive)}
-		backend = &dist.Coordinator{Spawn: dist.Command(argv, os.Stderr), Procs: *procs}
+		backend = &dist.Coordinator{Spawn: dist.Command(argv, os.Stderr), Procs: *procs, Obs: prog}
 	} else {
-		backend = results.Local{Eng: engine.New(*workers).SetMaxHeapBytes(heapCap)}
+		eng = engine.New(*workers).SetMaxHeapBytes(heapCap).SetProgress(prog)
+		backend = results.Local{Eng: eng, Obs: prog}
 	}
 
 	var resuming *results.Resuming
@@ -96,11 +114,43 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		resuming = &results.Resuming{Store: store, Next: backend}
+		resuming = &results.Resuming{Store: store, Next: backend, Obs: prog}
 		backend = resuming
 	}
+	backend = results.Observed{Next: backend, Obs: prog}
 
-	if err := experiments.Sweep(backend, figs, os.Stdout); err != nil {
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, func() obs.Snapshot {
+			ps := prog.Snapshot()
+			snap := obs.Snapshot{Provenance: obs.Capture(obs.Nanotime()), Progress: &ps}
+			if eng != nil {
+				snap.Gauges = map[string]int64{
+					"heap_reserved_bytes": eng.ReservedBytes(),
+					"heap_max_bytes":      eng.MaxHeapBytes(),
+				}
+			}
+			return snap
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cgsweep: debug endpoint on http://%s\n", srv.Addr())
+	}
+
+	figStart := time.Now()
+	var cellsDone int64
+	report := func(f experiments.SweepFig) {
+		elapsed := time.Since(figStart)
+		s := prog.Snapshot()
+		cells := s.CellsStored + s.CellsComputed - cellsDone
+		rate := float64(cells) / elapsed.Seconds()
+		fmt.Fprintf(os.Stderr, "cgsweep: fig %s: %d cells in %v (%.1f cells/s)\n",
+			f.ID, cells, elapsed.Round(time.Millisecond), rate)
+		figStart = time.Now()
+		cellsDone += cells
+	}
+	if err := experiments.SweepProgress(backend, figs, os.Stdout, report); err != nil {
 		fatal(err)
 	}
 	if resuming != nil {

@@ -8,12 +8,15 @@
 //
 // Usage:
 //
-//	cgworker [-workers N] [-max-heap-bytes SIZE]
+//	cgworker [-workers N] [-max-heap-bytes SIZE] [-debug-addr ADDR]
 //
 // -workers sets the in-process pool (and the advertised capacity the
 // coordinator's flow-control window uses); -max-heap-bytes caps the
 // aggregate arena bytes of concurrently admitted cells, so a host
-// running several workers can bound each one's footprint.
+// running several workers can bound each one's footprint. -debug-addr
+// serves net/http/pprof and a JSON progress snapshot (/progress) for
+// the lifetime of the process — the way to watch or profile a worker
+// mid-sweep without touching its stdout protocol stream.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/msa"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +38,8 @@ func main() {
 		"parallel-trace worker count for hook-free collection cycles (0 = min(GOMAXPROCS, 8), 1 = sequential); output is identical for every value")
 	traceMinLive := flag.Int("trace-min-live", 0,
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve pprof and a JSON progress snapshot on this address (e.g. localhost:6061; empty = off)")
 	flag.Parse()
 	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
 
@@ -43,8 +49,35 @@ func main() {
 		os.Exit(2)
 	}
 	eng := engine.New(*workers).SetMaxHeapBytes(cap)
-	if err := dist.Serve(os.Stdin, os.Stdout, eng); err != nil {
+
+	var prog *obs.Progress
+	if *debugAddr != "" {
+		prog = &obs.Progress{}
+		srv, err := obs.Serve(*debugAddr, func() obs.Snapshot {
+			return obs.Snapshot{
+				Provenance: obs.Capture(obs.Nanotime()),
+				Progress:   progSnapshot(prog),
+				Gauges: map[string]int64{
+					"heap_reserved_bytes": eng.ReservedBytes(),
+					"heap_max_bytes":      eng.MaxHeapBytes(),
+				},
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cgworker:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cgworker: debug endpoint on http://%s\n", srv.Addr())
+	}
+
+	if err := dist.Serve(os.Stdin, os.Stdout, eng, prog); err != nil {
 		fmt.Fprintln(os.Stderr, "cgworker:", err)
 		os.Exit(1)
 	}
+}
+
+func progSnapshot(p *obs.Progress) *obs.ProgressSnapshot {
+	s := p.Snapshot()
+	return &s
 }

@@ -980,7 +980,10 @@ func (c *CG) FlushRecycle() {
 		for _, o := range bucket {
 			c.heap.Free(o)
 		}
-		delete(c.byType, cls)
+		// Keep the drained bucket (and its capacity), as with the ladder
+		// classes above: the next churn cycle refills it without touching
+		// the Go heap.
+		c.byType[cls] = bucket[:0]
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -39,6 +40,11 @@ type Spawner func(id int) (*Conn, error)
 type Coordinator struct {
 	Spawn Spawner
 	Procs int
+	// Obs, when non-nil, mirrors the batch's live state — queue depth,
+	// in-flight count, per-worker utilization labelled by each hello's
+	// provenance — for a -debug-addr surface. Updates happen at cell
+	// boundaries only.
+	Obs *obs.Progress
 }
 
 // sched is the shared scheduling state: a queue of ready cell indices,
@@ -53,7 +59,14 @@ type sched struct {
 	attempt []int
 	done    int
 	ord     *results.Reorder
-	workers int // live workers
+	workers int           // live workers
+	obs     *obs.Progress // nil when no debug surface is attached
+}
+
+// syncObs mirrors the queue/in-flight gauges. Callers hold s.mu.
+func (s *sched) syncObs() {
+	s.obs.SetQueued(len(s.queue))
+	s.obs.SetInFlight(len(s.jobs) - s.done - len(s.queue))
 }
 
 // tryNext pops a ready cell without blocking.
@@ -65,6 +78,7 @@ func (s *sched) tryNext() (int, bool) {
 	}
 	i := s.queue[0]
 	s.queue = s.queue[1:]
+	s.syncObs()
 	return i, true
 }
 
@@ -81,6 +95,7 @@ func (s *sched) waitNext() (int, bool) {
 	}
 	i := s.queue[0]
 	s.queue = s.queue[1:]
+	s.syncObs()
 	return i, true
 }
 
@@ -88,8 +103,10 @@ func (s *sched) waitNext() (int, bool) {
 // matrix finishes (so they stop waiting for work that will never come).
 func (s *sched) complete(i int, o results.Outcome) {
 	s.ord.Add(i, o)
+	s.obs.AddComputed(1)
 	s.mu.Lock()
 	s.done++
+	s.syncObs()
 	fin := s.done == len(s.jobs)
 	s.mu.Unlock()
 	if fin {
@@ -115,6 +132,7 @@ func (s *sched) requeue(cells []int, cause error) {
 			s.queue = append(s.queue, i)
 		}
 	}
+	s.syncObs()
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	for _, i := range exhausted {
@@ -136,12 +154,17 @@ func (c *Coordinator) Run(jobs []engine.Job, emit func(i int, o results.Outcome)
 		attempt: make([]int, len(jobs)),
 		ord:     results.NewReorder(len(jobs), emit),
 		workers: procs,
+		obs:     c.Obs,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.queue = make([]int, len(jobs))
 	for i := range jobs {
 		s.queue[i] = i
 	}
+	c.Obs.EnsureWorkers(procs)
+	s.mu.Lock()
+	s.syncObs()
+	s.mu.Unlock()
 
 	errs := make([]error, procs)
 	var wg sync.WaitGroup
@@ -218,12 +241,16 @@ func (c *Coordinator) runWorker(s *sched, id int) (err error) {
 	if capacity < 1 {
 		capacity = 1
 	}
+	if p := hello.Prov; p != nil {
+		s.obs.SetWorkerLabel(id, fmt.Sprintf("%s/%d", p.Host, p.PID))
+	}
 
 	// send charges i to this worker *before* writing, so any failure
 	// path — here or a later read error — funnels through the one
 	// deferred requeue.
 	send := func(i int) error {
 		inflight[i] = true
+		s.obs.SetWorkerBusy(id, len(inflight))
 		if err := enc.Encode(request{Type: "job", ID: i, Job: s.jobs[i]}); err != nil {
 			return err
 		}
@@ -261,6 +288,8 @@ func (c *Coordinator) runWorker(s *sched, id int) (err error) {
 			return fmt.Errorf("dist: worker %d sent unexpected %q for cell %d", id, resp.Type, resp.ID)
 		}
 		delete(inflight, resp.ID)
+		s.obs.SetWorkerBusy(id, len(inflight))
+		s.obs.AddWorkerDone(id)
 		s.complete(resp.ID, *resp.Outcome)
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -25,7 +26,7 @@ import (
 // protocol on its real stdin/stdout exactly like cmd/cgworker.
 func TestMain(m *testing.M) {
 	if os.Getenv("DIST_WORKER_TEST") == "1" {
-		if err := Serve(os.Stdin, os.Stdout, engine.New(2)); err != nil {
+		if err := Serve(os.Stdin, os.Stdout, engine.New(2), nil); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
 		}
@@ -83,12 +84,23 @@ func collect(t *testing.T, b results.Backend, jobs []engine.Job) []results.Outco
 	return got
 }
 
-// stripElapsed zeroes the wall-clock fields, the only nondeterminism an
-// Outcome carries.
-func stripElapsed(os []results.Outcome) []results.Outcome {
-	out := append([]results.Outcome(nil), os...)
+// stripElapsed zeroes the wall-clock and provenance fields — the only
+// nondeterminism an Outcome carries. The cycle extract's object counts
+// (Cycles/Marked/Freed) are deterministic and stay in the comparison;
+// its nanosecond fields, pause histogram and trace fan-out are
+// measurements and do not.
+func stripElapsed(outs []results.Outcome) []results.Outcome {
+	out := append([]results.Outcome(nil), outs...)
 	for i := range out {
 		out[i].Elapsed = 0
+		out[i].Prov = nil
+		if o := out[i].Obs; o != nil {
+			s := *o
+			s.PauseNS, s.MarkNS, s.SweepNS, s.MaxPauseNS = 0, 0, 0, 0
+			s.MaxWorkers = 0
+			s.Pause = obs.Histogram{}
+			out[i].Obs = &s
+		}
 	}
 	return out
 }

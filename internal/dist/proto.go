@@ -6,10 +6,15 @@
 //
 // Protocol (one JSON object per line):
 //
-//	worker -> coordinator   {"type":"hello","proto":1,"capacity":K}
+//	worker -> coordinator   {"type":"hello","proto":2,"capacity":K,"prov":{...}}
 //	coordinator -> worker   {"type":"job","id":I,"job":{...}}        (at most K unanswered)
 //	worker -> coordinator   {"type":"result","id":I,"outcome":{...}}
 //	coordinator closes the worker's stdin; worker drains and exits 0.
+//
+// The hello carries the worker process's provenance (host, CPU, load),
+// so the coordinator can label workers in its debug surface; each
+// result's outcome additionally carries the provenance captured when
+// that cell was extracted.
 //
 // The coordinator keeps at most `capacity` jobs in flight per worker (a
 // sliding window), which doubles as flow control: a worker always has
@@ -22,13 +27,15 @@ package dist
 
 import (
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
 // protoVersion guards against coordinator/worker skew: a hello with a
 // different version aborts the worker connection before any job is
 // lost to a silent schema mismatch.
-const protoVersion = 1
+// v2: hello grew the worker's provenance; outcomes grew obs/prov.
+const protoVersion = 2
 
 // request is a coordinator→worker message.
 type request struct {
@@ -42,6 +49,7 @@ type response struct {
 	Type     string           `json:"type"`            // "hello" | "result"
 	Proto    int              `json:"proto,omitempty"` // hello
 	Capacity int              `json:"capacity,omitempty"`
-	ID       int              `json:"id"` // result
+	Prov     *obs.Provenance  `json:"prov,omitempty"` // hello: the worker process
+	ID       int              `json:"id"`             // result
 	Outcome  *results.Outcome `json:"outcome,omitempty"`
 }

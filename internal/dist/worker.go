@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -19,7 +20,11 @@ import (
 // worker goroutine so a finished shard is dropped before the next job
 // starts. Serve is what cmd/cgworker wraps; tests drive it directly
 // over in-memory pipes.
-func Serve(r io.Reader, w io.Writer, eng *engine.Engine) error {
+//
+// prog, when non-nil, mirrors the worker's live state (per-lane
+// utilization, queue depth, cells computed) for a -debug-addr surface;
+// updates happen only at job boundaries.
+func Serve(r io.Reader, w io.Writer, eng *engine.Engine, prog *obs.Progress) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	var wmu sync.Mutex
@@ -32,7 +37,8 @@ func Serve(r io.Reader, w io.Writer, eng *engine.Engine) error {
 		return bw.Flush()
 	}
 	capacity := eng.Workers()
-	if err := send(response{Type: "hello", Proto: protoVersion, Capacity: capacity}); err != nil {
+	prov := obs.Capture(obs.Nanotime())
+	if err := send(response{Type: "hello", Proto: protoVersion, Capacity: capacity, Prov: &prov}); err != nil {
 		return fmt.Errorf("dist: worker hello: %w", err)
 	}
 
@@ -40,24 +46,30 @@ func Serve(r io.Reader, w io.Writer, eng *engine.Engine) error {
 	// buffered channel of that depth means the decode loop never blocks
 	// handing work to the pool.
 	jobs := make(chan request, capacity)
+	prog.EnsureWorkers(capacity)
 	var wg sync.WaitGroup
 	var errOnce sync.Once
 	var sendErr error
 	for i := 0; i < capacity; i++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for req := range jobs {
+				prog.SetQueued(len(jobs))
+				prog.SetWorkerBusy(lane, 1)
 				// ExecRelease recycles the shard as soon as the outcome
 				// is extracted, so back-to-back cells of one sweep reuse
 				// one runtime instead of rebuilding 512 MiB arenas.
 				var o results.Outcome
 				eng.ExecRelease(req.Job, func(r engine.Result) { o = results.Extract(r) })
+				prog.SetWorkerBusy(lane, 0)
+				prog.AddWorkerDone(lane)
+				prog.AddComputed(1)
 				if err := send(response{Type: "result", ID: req.ID, Outcome: &o}); err != nil {
 					errOnce.Do(func() { sendErr = err })
 				}
 			}
-		}()
+		}(i)
 	}
 
 	dec := json.NewDecoder(bufio.NewReader(r))

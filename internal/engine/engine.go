@@ -30,6 +30,7 @@ import (
 	"repro/internal/collectors"
 	"repro/internal/heap"
 	"repro/internal/msa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -173,9 +174,10 @@ func exec(job Job, rt *vm.Runtime) (res Result) {
 // Engine holds no per-run state beyond the shard pool and is safe for
 // concurrent use.
 type Engine struct {
-	workers int
-	reserve *heap.Reserve // nil when uncapped
-	pool    *shardPool
+	workers  int
+	reserve  *heap.Reserve // nil when uncapped
+	pool     *shardPool
+	progress *obs.Progress // nil unless a debug surface is watching
 }
 
 // occupancyOnce gates the one-time saturation notice New prints when
@@ -205,6 +207,15 @@ func New(workers int) *Engine {
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetProgress attaches live per-worker utilization reporting (nil
+// detaches it) and returns e for chaining. Updates happen only at job
+// boundaries inside Do, so an attached Progress costs nothing on any
+// per-event or per-cycle path.
+func (e *Engine) SetProgress(p *obs.Progress) *Engine {
+	e.progress = p
+	return e
+}
 
 // SetMaxHeapBytes caps the aggregate arena bytes of concurrently
 // resident shards (n <= 0 removes the cap) and returns e for chaining.
@@ -322,9 +333,14 @@ func (e *Engine) Do(n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	p := e.progress
+	p.EnsureWorkers(workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			p.SetWorkerBusy(0, 1)
 			fn(i)
+			p.SetWorkerBusy(0, 0)
+			p.AddWorkerDone(0)
 		}
 		return
 	}
@@ -332,12 +348,15 @@ func (e *Engine) Do(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
+				p.SetWorkerBusy(w, 1)
 				fn(i)
+				p.SetWorkerBusy(w, 0)
+				p.AddWorkerDone(w)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

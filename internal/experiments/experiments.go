@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/workload"
@@ -25,13 +26,14 @@ import (
 
 // Cell is the small extract a demographics consumer needs from one
 // shard: the end-of-run classification, the CG counters, the forced
-// traditional-collection count (Fig 4.11) and the shard's arena
-// occupancy (cgstats -arena-stats).
+// traditional-collection count (Fig 4.11), the shard's arena occupancy
+// (cgstats -arena-stats) and its cycle-phase extract (cgstats -pauses).
 type Cell struct {
 	B    core.Breakdown
 	St   core.Stats
 	GC   int
 	Info heap.Info
+	Obs  obs.CycleStats
 }
 
 // RunDemographics executes demographics jobs on the engine and returns
@@ -53,7 +55,8 @@ func RunDemographics(eng *engine.Engine, jobs []engine.Job) ([]Cell, error) {
 			errs[i] = fmt.Errorf("experiments: %q is not the contaminated collector", jobs[i].Collector)
 			return
 		}
-		cells[i] = Cell{B: cg.Snapshot(), St: cg.Stats(), GC: r.RT.GCCycles(), Info: r.RT.Heap.Arena().Info()}
+		cells[i] = Cell{B: cg.Snapshot(), St: cg.Stats(), GC: r.RT.GCCycles(),
+			Info: r.RT.Heap.Arena().Info(), Obs: r.RT.Timeline().Stats()}
 	})
 	// Fail on the caller's goroutine, not a worker's.
 	for _, err := range errs {

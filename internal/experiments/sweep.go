@@ -90,7 +90,11 @@ func CellFromOutcome(o results.Outcome) (Cell, error) {
 	if o.Payload.CG == nil {
 		return Cell{}, fmt.Errorf("experiments: %q is not the contaminated collector", o.Job.Collector)
 	}
-	return Cell{B: o.Payload.CG.Breakdown, St: o.Payload.CG.Stats, GC: o.GCCycles}, nil
+	c := Cell{B: o.Payload.CG.Breakdown, St: o.Payload.CG.Stats, GC: o.GCCycles}
+	if o.Obs != nil {
+		c.Obs = *o.Obs
+	}
+	return c, nil
 }
 
 // Sweep renders figs through b, streaming each figure's rows to w the
@@ -102,6 +106,15 @@ func CellFromOutcome(o results.Outcome) (Cell, error) {
 // an in-process `-workers 1` run render byte-identical bytes, and a
 // resumed sweep renders the same bytes it would have cold.
 func Sweep(b results.Backend, figs []SweepFig, w io.Writer) error {
+	return SweepProgress(b, figs, w, nil)
+}
+
+// SweepProgress is Sweep with a per-figure completion hook: report, when
+// non-nil, runs after each figure's rows have flushed — cgsweep prints
+// its elapsed-time/cells-per-second stderr line from it. The hook is
+// outside the deterministic output path (it never writes to w), so a
+// reporting sweep renders the same bytes as a silent one.
+func SweepProgress(b results.Backend, figs []SweepFig, w io.Writer, report func(f SweepFig)) error {
 	for fi, f := range figs {
 		if fi > 0 {
 			if _, err := fmt.Fprintln(w); err != nil {
@@ -136,6 +149,9 @@ func Sweep(b results.Backend, figs []SweepFig, w io.Writer) error {
 		}
 		if err != nil {
 			return fmt.Errorf("sweep %s: %w", f.ID, err)
+		}
+		if report != nil {
+			report(f)
 		}
 	}
 	return nil

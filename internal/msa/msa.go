@@ -137,8 +137,11 @@ func (m *Collector) Collect(cy Cycle) int {
 	}
 	m.mark.Reset(h.HandleCap())
 
+	markedBefore := m.stats.Marked
+	traceWorkers := 1
 	if cy.Reached == nil && cy.Edge == nil {
 		if w := m.parallelWorkers(h); w > 1 {
+			traceWorkers = w
 			m.markParallel(w, nil)
 		} else {
 			m.markFlat()
@@ -146,6 +149,7 @@ func (m *Collector) Collect(cy Cycle) int {
 	} else {
 		m.markHooked(cy)
 	}
+	m.rt.Timeline().CycleMarkDone(traceWorkers, m.stats.Marked-markedBefore)
 
 	// Sweep: handle-table order, releasing unmarked extents. The
 	// garbage word is a snapshot, so each object re-checks the current

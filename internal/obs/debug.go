@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Snapshot is what the debug endpoint's /progress handler serves: the
+// process's provenance, the sweep's live progress counters, and any
+// extra gauges the host process wants visible (heap-reservation
+// occupancy, say). Gauges is a map so CLIs can add signals without an
+// obs change; encoding/json sorts its keys, so the rendered snapshot
+// is stable.
+type Snapshot struct {
+	Provenance Provenance        `json:"provenance"`
+	Progress   *ProgressSnapshot `json:"progress,omitempty"`
+	Gauges     map[string]int64  `json:"gauges,omitempty"`
+}
+
+// Server is the -debug-addr HTTP surface: net/http/pprof plus the JSON
+// progress snapshot. It exists so a long sweep can be profiled and
+// watched while it runs, without the sweep paying anything when the
+// flag is absent.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port; the chosen address is
+// reported by Addr) and serves in a background goroutine:
+//
+//	/progress          JSON Snapshot from the snap callback
+//	/debug/pprof/...   the standard pprof handlers
+//
+// The callback runs per request, so the snapshot always reflects the
+// live counters.
+func Serve(addr string, snap func() Snapshot) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "endpoints: /progress /debug/pprof/")
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	go func() {
+		// ErrServerClosed after Close; anything else is reported by the
+		// next Close call's error (the listener is gone either way).
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address (host:port), useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

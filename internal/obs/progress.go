@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Progress is the live counter set of a running sweep: cell totals,
+// store hits, computed cells, queue depth and in-flight count, plus
+// per-worker utilization. Cell-grained — every update happens at job
+// boundaries, never on an event or cycle path — so plain atomics and
+// one small mutex for the worker table are plenty. All methods are
+// nil-receiver-safe: call sites thread an optional *Progress through
+// without guarding.
+type Progress struct {
+	total, stored, computed, inFlight, queued atomic.Int64
+
+	mu      sync.Mutex
+	workers []workerState
+}
+
+type workerState struct {
+	label string
+	busy  int64
+	done  int64
+}
+
+// AddTotal adds n cells to the expected total (one batch submission).
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+}
+
+// AddStored counts a cell served from the results store.
+func (p *Progress) AddStored(n int) {
+	if p == nil {
+		return
+	}
+	p.stored.Add(int64(n))
+}
+
+// AddComputed counts a cell actually computed (locally or by a worker
+// process).
+func (p *Progress) AddComputed(n int) {
+	if p == nil {
+		return
+	}
+	p.computed.Add(int64(n))
+}
+
+// SetQueued records the scheduler's current ready-queue depth.
+func (p *Progress) SetQueued(n int) {
+	if p == nil {
+		return
+	}
+	p.queued.Store(int64(n))
+}
+
+// SetInFlight records how many cells are currently being computed.
+func (p *Progress) SetInFlight(n int) {
+	if p == nil {
+		return
+	}
+	p.inFlight.Store(int64(n))
+}
+
+// EnsureWorkers grows the per-worker table to at least n slots.
+func (p *Progress) EnsureWorkers(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.workers) < n {
+		p.workers = append(p.workers, workerState{})
+	}
+}
+
+// SetWorkerLabel names worker i in snapshots (a dist worker's host and
+// pid, say).
+func (p *Progress) SetWorkerLabel(i int, label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i >= 0 && i < len(p.workers) {
+		p.workers[i].label = label
+	}
+}
+
+// SetWorkerBusy records worker i's current in-flight cell count.
+func (p *Progress) SetWorkerBusy(i int, busy int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i >= 0 && i < len(p.workers) {
+		p.workers[i].busy = int64(busy)
+	}
+}
+
+// AddWorkerDone counts one cell completed by worker i.
+func (p *Progress) AddWorkerDone(i int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i >= 0 && i < len(p.workers) {
+		p.workers[i].done++
+	}
+}
+
+// ProgressSnapshot is the JSON-ready copy of a Progress — what the
+// debug endpoint serves.
+type ProgressSnapshot struct {
+	CellsTotal    int64            `json:"cells_total"`
+	CellsStored   int64            `json:"cells_stored"`
+	CellsComputed int64            `json:"cells_computed"`
+	CellsInFlight int64            `json:"cells_in_flight"`
+	QueueDepth    int64            `json:"queue_depth"`
+	Workers       []WorkerSnapshot `json:"workers,omitempty"`
+}
+
+// WorkerSnapshot is one worker's utilization: its current in-flight
+// count and cumulative completions.
+type WorkerSnapshot struct {
+	Label string `json:"label,omitempty"`
+	Busy  int64  `json:"busy"`
+	Done  int64  `json:"done"`
+}
+
+// Snapshot copies the current counters. Safe to call concurrently with
+// updates; nil returns the zero snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		CellsTotal:    p.total.Load(),
+		CellsStored:   p.stored.Load(),
+		CellsComputed: p.computed.Load(),
+		CellsInFlight: p.inFlight.Load(),
+		QueueDepth:    p.queued.Load(),
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		s.Workers = append(s.Workers, WorkerSnapshot{Label: w.label, Busy: w.busy, Done: w.done})
+	}
+	return s
+}

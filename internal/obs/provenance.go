@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Provenance records where and under what conditions an outcome was
+// computed: the honest context a wall-clock measurement needs before
+// persisting it is meaningful (ROADMAP: "honest provenance (host,
+// load, CPU) in the stored outcome"). It travels inside
+// results.Outcome — through the store and the dist protocol — but is
+// never part of table rendering, so goldens stay byte-identical.
+type Provenance struct {
+	// Host, OS, Arch and CPU identify the machine.
+	Host string `json:"host,omitempty"`
+	OS   string `json:"os,omitempty"`
+	Arch string `json:"arch,omitempty"`
+	CPU  string `json:"cpu,omitempty"`
+	// CPUs is the logical CPU count, GoMaxProcs the scheduler width the
+	// process actually ran with.
+	CPUs       int `json:"cpus,omitempty"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go,omitempty"`
+	// PID distinguishes worker processes sharing one host.
+	PID int `json:"pid,omitempty"`
+	// Load1/5/15 are the host load averages at capture (0 where the
+	// platform does not expose /proc/loadavg).
+	Load1  float64 `json:"load1,omitempty"`
+	Load5  float64 `json:"load5,omitempty"`
+	Load15 float64 `json:"load15,omitempty"`
+	// Wall is the capture's UTC wall-clock time.
+	Wall string `json:"wall,omitempty"`
+	// MonoNS is a monotonic-clock timestamp passed in by the caller
+	// (obs.Nanotime for the capturing process), ordering captures
+	// within one process immune to wall-clock steps.
+	MonoNS int64 `json:"mono_ns,omitempty"`
+}
+
+// staticProv caches the per-process-constant fields; only the load
+// averages and timestamps are re-read per capture.
+var (
+	staticOnce sync.Once
+	staticProv Provenance
+)
+
+// Capture returns the current provenance. monoNS is the caller's
+// monotonic timestamp (pass obs.Nanotime()); everything else is
+// captured here — constant fields once per process, load averages and
+// wall clock per call. Capture runs at cell completion, never on an
+// event or cycle hot path, so its file reads and formatting are free
+// to allocate.
+func Capture(monoNS int64) Provenance {
+	staticOnce.Do(func() {
+		host, _ := os.Hostname()
+		staticProv = Provenance{
+			Host:      host,
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			CPU:       cpuModel(),
+			CPUs:      runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+			PID:       os.Getpid(),
+		}
+	})
+	p := staticProv
+	p.GoMaxProcs = runtime.GOMAXPROCS(0)
+	p.Load1, p.Load5, p.Load15 = loadAvg()
+	p.Wall = time.Now().UTC().Format(time.RFC3339Nano)
+	p.MonoNS = monoNS
+	return p
+}
+
+// loadAvg reads the 1/5/15-minute load averages. Linux keeps them in
+// /proc/loadavg; elsewhere (or on read/parse failure) they report as
+// zeros rather than failing the capture.
+func loadAvg() (l1, l5, l15 float64) {
+	data, err := os.ReadFile("/proc/loadavg")
+	if err != nil {
+		return 0, 0, 0
+	}
+	f := strings.Fields(string(data))
+	if len(f) < 3 {
+		return 0, 0, 0
+	}
+	l1, _ = strconv.ParseFloat(f[0], 64)
+	l5, _ = strconv.ParseFloat(f[1], 64)
+	l15, _ = strconv.ParseFloat(f[2], 64)
+	return l1, l5, l15
+}
+
+// cpuModel extracts the CPU model string from /proc/cpuinfo ("model
+// name" on x86, "Processor"/"uarch" variants elsewhere); empty when
+// the platform does not expose it.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		switch strings.TrimSpace(key) {
+		case "model name", "Processor", "cpu model":
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

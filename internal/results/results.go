@@ -34,6 +34,7 @@ import (
 	"repro/internal/gengc"
 	"repro/internal/heap"
 	"repro/internal/msa"
+	"repro/internal/obs"
 )
 
 // Outcome is the serialisable extract of one engine.Result: everything
@@ -53,6 +54,16 @@ type Outcome struct {
 	// (keyVersion v2), never part of table rendering.
 	Arena   *heap.Info `json:"arena,omitempty"`
 	Payload Payload    `json:"payload"`
+	// Obs is the shard's cumulative cycle-phase extract: pause/mark/sweep
+	// nanoseconds and the pause-time histogram (keyVersion v3). Its
+	// object counts (Cycles/Marked/Freed) are deterministic; its
+	// nanosecond fields are wall-clock measurements — timing consumers
+	// only, never table rendering.
+	Obs *obs.CycleStats `json:"obs,omitempty"`
+	// Prov records where and under what conditions the cell was computed
+	// (host, CPU, load, timestamps) — stamped by the process that ran the
+	// cell, carried verbatim through the store and the dist protocol.
+	Prov *obs.Provenance `json:"prov,omitempty"`
 }
 
 // Payload is the typed per-collector extract; Kind names the registry
@@ -78,6 +89,8 @@ type CGPayload struct {
 // outlives the cell.
 func Extract(r engine.Result) Outcome {
 	o := Outcome{Job: r.Job, Elapsed: r.Elapsed}
+	prov := obs.Capture(obs.Nanotime())
+	o.Prov = &prov
 	if r.Err != nil {
 		o.Err = r.Err.Error()
 		return o
@@ -87,6 +100,9 @@ func Extract(r engine.Result) Outcome {
 		o.Instr = r.RT.Instr()
 		info := r.RT.Heap.Arena().Info()
 		o.Arena = &info
+		if st := r.RT.Timeline().Stats(); st.Cycles > 0 {
+			o.Obs = &st
+		}
 	}
 	switch col := r.Col.(type) {
 	case *core.CG:
@@ -184,9 +200,11 @@ type Backend interface {
 
 // Local is the in-process Backend: cells run on an engine worker pool
 // and are extracted on the worker goroutine, so a completed shard is
-// dropped immediately (RunEach footprint, not Stream's).
+// dropped immediately (RunEach footprint, not Stream's). Obs, when
+// non-nil, counts each computed cell for a live debug surface.
 type Local struct {
 	Eng *engine.Engine
+	Obs *obs.Progress
 }
 
 // Run implements Backend.
@@ -194,8 +212,25 @@ func (l Local) Run(jobs []engine.Job, emit func(i int, o Outcome)) error {
 	ord := NewReorder(len(jobs), emit)
 	l.Eng.RunEach(jobs, func(i int, r engine.Result) {
 		ord.Add(i, Extract(r))
+		l.Obs.AddComputed(1)
 	})
 	return ord.Finish()
+}
+
+// Observed wraps a Backend to count each batch's jobs toward a live
+// progress total. It is applied outermost — around Resuming, which
+// itself counts store hits, around Local/Coordinator, which count
+// computed cells — so the three counters partition cleanly: total =
+// stored + computed once a batch completes.
+type Observed struct {
+	Next Backend
+	Obs  *obs.Progress
+}
+
+// Run implements Backend.
+func (b Observed) Run(jobs []engine.Job, emit func(i int, o Outcome)) error {
+	b.Obs.AddTotal(len(jobs))
+	return b.Next.Run(jobs, emit)
 }
 
 // Reorder turns concurrent (index, Outcome) completions into the

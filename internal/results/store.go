@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/collectors"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -18,7 +19,10 @@ import (
 // v2: Outcome grew the Arena occupancy extract (the slab-arena Info
 // counters), whose values depend on the allocator's page/size-class
 // layout — v1 cells predate that layout and must recompute.
-const keyVersion = "v2"
+// v3: Outcome grew the cycle-phase extract (Obs) and the provenance
+// stamp (Prov); v2 cells carry neither, so they must recompute rather
+// than read back as cells with no observability.
+const keyVersion = "v3"
 
 // Key is the canonical identity of a cell: every field that determines
 // its deterministic outcome. The collector spec is canonicalised
@@ -155,6 +159,9 @@ func (s *Store) Len() (int, error) {
 type Resuming struct {
 	Store *Store
 	Next  Backend
+	// Obs, when non-nil, counts store hits for a live debug surface
+	// (computed cells are counted by the inner backend).
+	Obs *obs.Progress
 
 	stored, computed int
 }
@@ -180,6 +187,7 @@ func (r *Resuming) Run(jobs []engine.Job, emit func(i int, o Outcome)) error {
 		if ok {
 			outs[i], have[i] = o, true
 			r.stored++
+			r.Obs.AddStored(1)
 		} else {
 			missing = append(missing, i)
 		}

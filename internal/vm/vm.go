@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/heap"
+	"repro/internal/obs"
 )
 
 // Frame is one method activation. Locals hold reference values only (the
@@ -102,6 +103,12 @@ type Runtime struct {
 	frameSeq      uint64
 	instr         uint64
 	gcCycles      int
+
+	// timeline records each collection cycle's phase breakdown (pause /
+	// mark / sweep nanoseconds, worker count, object counts). Embedded —
+	// not pointered — so the zero Runtime records without allocating;
+	// collectors refine the mark boundary via Timeline().CycleMarkDone.
+	timeline obs.Timeline
 
 	// gcEvery/countdown implement SetGCEvery as a decrement instead of
 	// a modulo on every step: countdown is 0 when the forced-collection
@@ -230,6 +237,7 @@ func (rt *Runtime) Reset(c Collector) {
 	rt.gcCycles = 0
 	rt.gcEvery, rt.countdown = 0, 0
 	rt.accessBroken = false
+	rt.timeline.Reset()
 	rt.Attach(c.Events())
 }
 
@@ -241,6 +249,11 @@ func (rt *Runtime) Instr() uint64 { return rt.instr }
 
 // GCCycles reports how many full (traditional) collections ran.
 func (rt *Runtime) GCCycles() int { return rt.gcCycles }
+
+// Timeline exposes the runtime's cycle recorder: collectors refine the
+// mark/sweep boundary through it, and harnesses extract per-cell
+// CycleStats after a run.
+func (rt *Runtime) Timeline() *obs.Timeline { return &rt.timeline }
 
 // SetGCEvery arranges a full collection every n runtime operations,
 // counted from this call — the instrumentation behind the resetting
@@ -270,13 +283,19 @@ func (rt *Runtime) step() {
 }
 
 // ForceCollect runs a full traditional collection immediately; a
-// collector with no Collect capability collects nothing.
+// collector with no Collect capability collects nothing. The two clock
+// readings bracketing the cycle (plus any mark-boundary reading the
+// collector adds) are the only timing the runtime ever takes — never
+// per event — so instrumentation stays off the steady-state paths.
 func (rt *Runtime) ForceCollect() int {
 	rt.gcCycles++
 	if rt.collect == nil {
 		return 0
 	}
-	return rt.collect()
+	rt.timeline.CycleStart()
+	freed := rt.collect()
+	rt.timeline.CycleEnd(uint64(freed))
+	return freed
 }
 
 // NewThread creates a thread with a root frame holding nlocals locals.
@@ -555,10 +574,7 @@ func (f *Frame) alloc(c heap.ClassID, extra int) (heap.HandleID, error) {
 				return rid, nil
 			}
 		}
-		rt.gcCycles++
-		if rt.collect != nil {
-			rt.collect()
-		}
+		rt.ForceCollect()
 		id, err = rt.Heap.Alloc(c, extra)
 		if err != nil {
 			return heap.Nil, fmt.Errorf("vm: heap exhausted after full collection: %w", err)
