@@ -60,6 +60,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/heap"
 	"repro/internal/msa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -82,15 +83,19 @@ func main() {
 		"time the engine's pooled execution path (Runtime.Reset steady state) instead of cold per-iteration construction; cells are named Workload-pooled/...")
 	benchArena := flag.Bool("bench-arena", false,
 		"with -bench, time the arena alloc/free/churn micro-benchmark family (slab arena vs the first-fit reference model) instead of the Workload family")
+	benchOverlap := flag.Bool("bench-overlap", false,
+		"with -bench, time the pause-focused family instead: the cycle-heavy -bench-gc-every cells through the pooled engine, reporting p95/max stop-the-world pause from the cycle timelines alongside ns/op (pair with -overlap to measure the overlapped schedule)")
 	baseline := flag.String("baseline", "", "baseline report to compare the -bench run against")
 	warnPct := flag.Float64("warn-pct", 15, "ns/op regression percentage that triggers a warning under -baseline")
 	traceWorkers := flag.Int("trace-workers", 0,
 		"parallel-trace worker count for hook-free collection cycles (0 = min(GOMAXPROCS, 8), 1 = sequential); output is identical for every value")
 	traceMinLive := flag.Int("trace-min-live", 0,
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
+	overlap := flag.Bool("overlap", false,
+		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing); output is identical either way")
 	testing.Init()
 	flag.Parse()
-	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
+	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
 	if *benchOut != "" {
 		cfg := benchConfig{
@@ -103,10 +108,14 @@ func main() {
 			pooled:    *pooled,
 			baseline:  *baseline,
 			warnPct:   *warnPct,
+			trace:     traceCfg,
 		}
 		run := runBenchMode
 		if *benchArena {
 			run = runArenaBenchMode
+		}
+		if *benchOverlap {
+			run = runOverlapBenchMode
 		}
 		if err := run(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "cgbench:", err)
@@ -120,7 +129,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cgbench:", err)
 		os.Exit(2)
 	}
-	eng := engine.New(*workers).SetMaxHeapBytes(heapCap)
+	eng := engine.New(*workers).SetMaxHeapBytes(heapCap).SetTrace(traceCfg)
 
 	type gen struct {
 		id     string
@@ -181,6 +190,7 @@ type benchConfig struct {
 	pooled    bool
 	baseline  string
 	warnPct   float64
+	trace     msa.TraceConfig
 }
 
 // runBenchMode times one run of every (workload, collector, size) cell
@@ -266,7 +276,7 @@ func runBenchMode(cfg benchConfig) error {
 	}
 	// One single-worker engine for the whole pooled family: its shard
 	// pool is what turns per-iteration construction into Reset.
-	eng := engine.New(1)
+	eng := engine.New(1).SetTrace(cfg.trace)
 	report := benchfmt.NewReport(cfg.benchTime)
 	for _, spec := range wls {
 		for _, col := range strings.Split(cfg.colsCSV, ",") {
@@ -308,8 +318,12 @@ func runBenchMode(cfg benchConfig) error {
 							for i := 0; i < b.N; i++ {
 								ev := mk()
 								ev.GCEvery = gc
+								if c, ok := ev.Collector.(interface{ SetTraceConfig(msa.TraceConfig) }); ok {
+									c.SetTraceConfig(cfg.trace)
+								}
 								rt := vm.New(heap.New(spec.HeapBytes(size)), ev)
 								spec.Run(rt, size)
+								rt.Quiesce()
 							}
 						})
 					}
@@ -336,4 +350,140 @@ func runBenchMode(cfg benchConfig) error {
 	}
 	fmt.Fprintf(os.Stderr, "cgbench: wrote %d benchmarks to %s\n", len(report.Benchmarks), cfg.out)
 	return warnAgainstBaseline(cfg, report)
+}
+
+// runOverlapBenchMode times the cycle-heavy /gcN cells (the
+// -bench-gc-every grid) through the pooled engine and reports the
+// stop-the-world pause distribution of the cycle timelines alongside
+// ns/op: p95 and max pause per cell, merged over every timed
+// iteration. Recorded with overlap off this is the stop-the-world
+// baseline committed as BENCH_seed_overlap.json; with -overlap the
+// same cells run the snapshot-at-the-beginning schedule, so the
+// baseline comparison's pause lines are the measured overlap win (or
+// loss). Pause durations are wall-clock and vary run to run; like
+// every other cgbench gate, the baseline step warns and never fails.
+func runOverlapBenchMode(cfg benchConfig) error {
+	if err := setBenchTime(cfg.benchTime); err != nil {
+		return err
+	}
+	gc := cfg.gcEvery
+	if gc == 0 {
+		// The family exists to measure collection cycles; without an
+		// explicit -bench-gc-every, force one every 2000 ops so cells
+		// spend their time in the cycle path rather than the mutator.
+		gc = 2000
+	}
+	var sizes []int
+	for _, s := range strings.Split(cfg.sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -bench-sizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	wls := workload.All()
+	if cfg.wlsCSV != "" {
+		var picked []workload.Spec
+		for _, name := range strings.Split(cfg.wlsCSV, ",") {
+			spec, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			picked = append(picked, spec)
+		}
+		wls = picked
+	}
+	// One single-worker engine: the pooled Reset steady state, with the
+	// run's trace configuration (including -overlap) applied per job.
+	eng := engine.New(1).SetTrace(cfg.trace)
+	report := benchfmt.NewReport(cfg.benchTime)
+	for _, spec := range wls {
+		for _, col := range strings.Split(cfg.colsCSV, ",") {
+			col = strings.TrimSpace(col)
+			if _, err := collectors.Parse(col); err != nil {
+				return err
+			}
+			for _, size := range sizes {
+				job := engine.Job{
+					Workload:  spec.Name,
+					Size:      size,
+					Collector: col,
+					HeapBytes: engine.TightHeap,
+					GCEvery:   gc,
+				}
+				var cycles obs.CycleStats
+				var runErr error
+				collect := func(r engine.Result) {
+					if r.Err != nil {
+						runErr = r.Err
+						return
+					}
+					cs := r.RT.Timeline().Stats()
+					cycles.Merge(&cs)
+				}
+				// Warm the shard pool; the warmup's cycles are not
+				// part of the measured distribution.
+				eng.ExecRelease(job, func(r engine.Result) {
+					if r.Err != nil {
+						runErr = r.Err
+					}
+				})
+				if runErr != nil {
+					return runErr
+				}
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						eng.ExecRelease(job, collect)
+					}
+				})
+				if runErr != nil {
+					return runErr
+				}
+				name := fmt.Sprintf("Pause/%s/%s/size%d/gc%d", spec.Name, col, size, gc)
+				p95 := cycles.Pause.Quantile(0.95)
+				entry := benchfmt.Entry{
+					Name:        name,
+					Iters:       r.N,
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+					P95PauseNS:  int64(p95),
+					MaxPauseNS:  cycles.MaxPauseNS,
+				}
+				report.Add(entry)
+				fmt.Fprintf(os.Stderr, "%-52s %12.0f ns/op  p95 pause %v  max %v  (%d cycles, overlap %v)\n",
+					name, entry.NsPerOp, p95, time.Duration(cycles.MaxPauseNS),
+					cycles.Cycles, time.Duration(cycles.OverlapNS))
+			}
+		}
+	}
+	if err := report.WriteFile(cfg.out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cgbench: wrote %d benchmarks to %s\n", len(report.Benchmarks), cfg.out)
+	return warnAgainstPauseBaseline(cfg, report)
+}
+
+// warnAgainstPauseBaseline is the pause family's baseline step: ns/op
+// regressions warn exactly like warnAgainstBaseline, and every
+// p95-pause delta is printed (improvements included) so the overlap
+// schedule's pause effect is visible in the CI log.
+func warnAgainstPauseBaseline(cfg benchConfig, report *benchfmt.Report) error {
+	if cfg.baseline == "" {
+		return nil
+	}
+	base, err := benchfmt.ReadFile(cfg.baseline)
+	if err != nil {
+		return err
+	}
+	for _, d := range benchfmt.Regressions(benchfmt.Compare(base, report), cfg.warnPct) {
+		fmt.Fprintf(os.Stderr, "WARN: %s regressed %.1f%% (%.0f -> %.0f ns/op)\n",
+			d.Name, d.Pct, d.Base, d.Cur)
+	}
+	for _, d := range benchfmt.ComparePauses(base, report) {
+		fmt.Fprintf(os.Stderr, "pause: %-52s p95 %v -> %v (%+.1f%%)\n",
+			d.Name, time.Duration(int64(d.Base)), time.Duration(int64(d.Cur)), d.Pct)
+	}
+	return nil
 }

@@ -50,8 +50,10 @@ func main() {
 		"parallel-trace worker count for hook-free collection cycles (0 = min(GOMAXPROCS, 8), 1 = sequential); output is identical for every value")
 	traceMinLive := flag.Int("trace-min-live", 0,
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
+	overlap := flag.Bool("overlap", false,
+		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing); output is identical either way")
 	flag.Parse()
-	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
+	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 	if *list {
 		printCollectors()
 		return
@@ -86,9 +88,17 @@ func main() {
 	// Each collector gets its own runtime shard; the assembled program
 	// is shared read-only (Bind builds per-shard state).
 	reports := make([]report, len(specs))
-	engine.New(*workers).Do(len(specs), func(i int) {
+	eng := engine.New(*workers)
+	// Shards are built directly (not via engine.Exec), so the trace
+	// configuration — including the engine's occupancy-saturation
+	// decision — is applied here for collectors that take one.
+	traceCfg.OccupancySaturated = eng.Trace().OccupancySaturated
+	eng.Do(len(specs), func(i int) {
 		ev := factories[i]()
 		ev.GCEvery = *gcEvery
+		if c, ok := ev.Collector.(interface{ SetTraceConfig(msa.TraceConfig) }); ok {
+			c.SetTraceConfig(traceCfg)
+		}
 		reports[i] = runOne(prog, ev, *heapBytes)
 	})
 	for i, r := range reports {
@@ -115,6 +125,7 @@ func runOne(prog *jasm.Program, ev vm.Events, heapBytes int) (rep report) {
 	if _, err := prog.Bind(rt).Run(); err != nil {
 		return report{err: err}
 	}
+	rt.Quiesce()
 	var b strings.Builder
 	fmt.Fprintf(&b, "collector:     %s\n", ev.Name)
 	fmt.Fprintf(&b, "instructions:  %d\n", rt.Instr())

@@ -61,8 +61,10 @@ func main() {
 		"append a per-benchmark pause-time distribution table (pair with -gc-every so cycles actually run)")
 	gcEvery := flag.Uint64("gc-every", 0,
 		"force a full traditional collection every N runtime operations (0 = off; the §4.7 resetting instrumentation)")
+	overlap := flag.Bool("overlap", false,
+		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing); output is identical either way")
 	flag.Parse()
-	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
+	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
 	heapCap, err := engine.ParseByteSize(*maxHeap)
 	if err != nil {
@@ -106,7 +108,7 @@ func main() {
 	// RunDemographics releases each shard's runtime as soon as its
 	// counters are extracted; a size-100 sweep would otherwise keep
 	// every shard's live set in memory until render.
-	cells, err := experiments.RunDemographics(engine.New(*workers).SetMaxHeapBytes(heapCap), jobs)
+	cells, err := experiments.RunDemographics(engine.New(*workers).SetMaxHeapBytes(heapCap).SetTrace(traceCfg), jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgstats:", err)
 		os.Exit(1)
@@ -158,23 +160,35 @@ func main() {
 		// merged total row demonstrates the order-independent histogram
 		// merge the stored outcomes rely on.
 		pt := table.New("Collection pause times",
-			"benchmark", "cycles", "p50", "p95", "max", "mark", "sweep", "pause buckets")
+			"benchmark", "cycles", "p50", "p95", "max", "mark", "sweep", "overlap", "pause buckets")
 		var total obs.CycleStats
 		for i, s := range specs {
 			cs := cells[i].Obs
 			total.Merge(&cs)
 			pt.Rowf(s.Name, cs.Cycles, cs.Pause.Quantile(0.50), cs.Pause.Quantile(0.95),
 				cs.Pause.Max(), time.Duration(cs.MarkNS), time.Duration(cs.SweepNS),
-				bucketSummary(&cs.Pause))
+				overlapShare(&cs), bucketSummary(&cs.Pause))
 		}
 		if len(specs) > 1 {
 			pt.Rowf("total", total.Cycles, total.Pause.Quantile(0.50), total.Pause.Quantile(0.95),
 				total.Pause.Max(), time.Duration(total.MarkNS), time.Duration(total.SweepNS),
-				bucketSummary(&total.Pause))
+				overlapShare(&total), bucketSummary(&total.Pause))
 		}
 		fmt.Println()
 		fmt.Print(pt)
 	}
+}
+
+// overlapShare renders the fraction of total collection nanoseconds
+// that ran concurrently with the mutator (the -overlap schedule's
+// detached trace time). A stop-the-world run shows "-": every cycle
+// nanosecond was a pause.
+func overlapShare(cs *obs.CycleStats) string {
+	tot := cs.OverlapNS + cs.PauseNS
+	if cs.OverlapNS == 0 || tot == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(cs.OverlapNS)/float64(tot))
 }
 
 // bucketSummary renders a histogram's non-empty buckets as

@@ -63,8 +63,10 @@ func main() {
 		"exact arena-byte cap for concurrently resident shards, per process, pooled included (e.g. 2GiB; 0 = unlimited)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve pprof and a JSON progress snapshot on this address (e.g. localhost:6060; empty = off)")
+	overlap := flag.Bool("overlap", false,
+		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing), forwarded to -procs children; output is identical either way")
 	flag.Parse()
-	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
+	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
 	var ids []string
 	if *figsFlag != "" {
@@ -102,9 +104,12 @@ func main() {
 		}
 		argv := []string{bin, "-workers", strconv.Itoa(perChild), "-max-heap-bytes", strconv.FormatInt(heapCap, 10),
 			"-trace-workers", strconv.Itoa(*traceWorkers), "-trace-min-live", strconv.Itoa(*traceMinLive)}
+		if *overlap {
+			argv = append(argv, "-overlap")
+		}
 		backend = &dist.Coordinator{Spawn: dist.Command(argv, os.Stderr), Procs: *procs, Obs: prog}
 	} else {
-		eng = engine.New(*workers).SetMaxHeapBytes(heapCap).SetProgress(prog)
+		eng = engine.New(*workers).SetMaxHeapBytes(heapCap).SetProgress(prog).SetTrace(traceCfg)
 		backend = results.Local{Eng: eng, Obs: prog}
 	}
 

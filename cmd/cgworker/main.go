@@ -40,15 +40,17 @@ func main() {
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve pprof and a JSON progress snapshot on this address (e.g. localhost:6061; empty = off)")
+	overlap := flag.Bool("overlap", false,
+		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing); output is identical either way")
 	flag.Parse()
-	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
+	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
 	cap, err := engine.ParseByteSize(*maxHeap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgworker:", err)
 		os.Exit(2)
 	}
-	eng := engine.New(*workers).SetMaxHeapBytes(cap)
+	eng := engine.New(*workers).SetMaxHeapBytes(cap).SetTrace(traceCfg)
 
 	var prog *obs.Progress
 	if *debugAddr != "" {

@@ -42,8 +42,10 @@ func main() {
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	maxHeap := flag.String("max-heap-bytes", "0",
 		"exact arena-byte cap for concurrently resident shards, pooled included (e.g. 2GiB; 0 = unlimited)")
+	overlap := flag.Bool("overlap", false,
+		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing); output is identical either way")
 	flag.Parse()
-	msa.SetDefaultTrace(*traceWorkers, *traceMinLive)
+	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
 	if *specList == "" {
 		fatal(fmt.Errorf("need at least one collector"))
@@ -81,7 +83,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "t100:", err)
 		os.Exit(2)
 	}
-	eng := engine.New(*workers).SetMaxHeapBytes(heapCap)
+	eng := engine.New(*workers).SetMaxHeapBytes(heapCap).SetTrace(traceCfg)
 	// Extract per-cell wall time and cycle counts as shards complete;
 	// size-100 tight heaps are modest, but there is no reason to hold
 	// every runtime until render.

@@ -112,15 +112,23 @@ func ArenaBytes(job Job) (int, error) {
 // Exec runs one job synchronously in the caller's goroutine. It is the
 // unit of work Engine.Run distributes; callers with their own
 // per-benchmark control flow (probe runs, budget retry loops) may call
-// it directly. Package-level Exec ignores any engine memory cap; use
-// Engine.Exec for throttled admission.
-func Exec(job Job) Result { return exec(job, nil) }
+// it directly. Package-level Exec ignores any engine memory cap and
+// trace configuration; use Engine.Exec for throttled, configured
+// admission.
+func Exec(job Job) Result { return exec(job, nil, nil) }
+
+// traceConfigurer is what a collector must implement for the engine to
+// hand it the per-engine trace configuration; *msa.System does.
+type traceConfigurer interface {
+	SetTraceConfig(msa.TraceConfig)
+}
 
 // exec is the shared job body. With a non-nil rt it starts from that
 // Reset pooled shard (whose arena size must match the job's budget); it
 // never returns shards to the pool itself — the caller does, once the
-// Result can no longer escape (see ExecRelease).
-func exec(job Job, rt *vm.Runtime) (res Result) {
+// Result can no longer escape (see ExecRelease). A non-nil trace is
+// applied to collectors that accept one before the shard attaches.
+func exec(job Job, rt *vm.Runtime, trace *msa.TraceConfig) (res Result) {
 	res.Job = job
 	defer func() {
 		if r := recover(); r != nil {
@@ -156,12 +164,20 @@ func exec(job Job, rt *vm.Runtime) (res Result) {
 		// old post-construction SetGCEvery call.
 		ev := factory()
 		ev.GCEvery = job.GCEvery
+		if trace != nil {
+			if c, ok := ev.Collector.(traceConfigurer); ok {
+				c.SetTraceConfig(*trace)
+			}
+		}
 		if rt == nil {
 			rt = vm.New(heap.New(bytes), ev)
 		} else {
 			rt.Reset(ev)
 		}
 		spec.Run(rt, job.Size)
+		// An overlapped cycle may still be tracing when the workload
+		// returns; finish it so extraction reads quiescent state.
+		rt.Quiesce()
 		res.RT, res.Col = rt, ev.Collector
 	}
 	res.Elapsed = time.Since(start) / time.Duration(reps)
@@ -175,7 +191,8 @@ func exec(job Job, rt *vm.Runtime) (res Result) {
 // concurrent use.
 type Engine struct {
 	workers  int
-	reserve  *heap.Reserve // nil when uncapped
+	trace    msa.TraceConfig // per-engine collector trace settings
+	reserve  *heap.Reserve   // nil when uncapped
 	pool     *shardPool
 	progress *obs.Progress // nil unless a debug surface is watching
 }
@@ -186,27 +203,45 @@ var occupancyOnce sync.Once
 
 // New returns an engine with the given worker count; workers <= 0
 // selects GOMAXPROCS (saturate the hardware). When the chosen worker
-// count saturates GOMAXPROCS, New tells msa-style collectors to stop
-// defaulting to parallel tracing inside each shard — every CPU is
-// already running a sweep worker, so intra-shard trace goroutines would
-// only contend — and logs the downgrade once. An explicit
-// -trace-workers setting still wins.
+// count saturates GOMAXPROCS, the engine's trace configuration marks
+// occupancy as saturated so msa-style collectors stop defaulting to
+// parallel tracing inside each shard — every CPU is already running a
+// sweep worker, so intra-shard trace goroutines would only contend —
+// and New logs the downgrade once. An explicit -trace-workers setting
+// (SetTrace with Workers > 0) still wins. The saturation decision is
+// per-engine state, not the deprecated process global: two engines
+// with different worker counts in one process get independent
+// defaults.
 func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	e := &Engine{workers: workers, pool: newShardPool(workers)}
 	if workers >= runtime.GOMAXPROCS(0) {
-		msa.SetTraceOccupancySaturated(true)
+		e.trace.OccupancySaturated = true
 		occupancyOnce.Do(func() {
 			fmt.Fprintf(os.Stderr, "engine: %d sweep workers saturate GOMAXPROCS=%d; msa trace-workers default to 1 per shard\n",
 				workers, runtime.GOMAXPROCS(0))
 		})
 	}
-	return &Engine{workers: workers, pool: newShardPool(workers)}
+	return e
 }
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetTrace sets the trace configuration handed to every collector this
+// engine constructs (workers, min-live gate, overlapped collection)
+// and returns e for chaining. The engine's own occupancy-saturation
+// decision from New is preserved unless cfg asserts its own.
+func (e *Engine) SetTrace(cfg msa.TraceConfig) *Engine {
+	cfg.OccupancySaturated = cfg.OccupancySaturated || e.trace.OccupancySaturated
+	e.trace = cfg
+	return e
+}
+
+// Trace reports the engine's current trace configuration.
+func (e *Engine) Trace() msa.TraceConfig { return e.trace }
 
 // SetProgress attaches live per-worker utilization reporting (nil
 // detaches it) and returns e for chaining. Updates happen only at job
@@ -276,7 +311,7 @@ func (e *Engine) ReservedBytes() int64 {
 func (e *Engine) Exec(job Job) Result {
 	reserve := e.reserve
 	if reserve == nil {
-		return Exec(job)
+		return exec(job, nil, &e.trace)
 	}
 	bytes, err := ArenaBytes(job)
 	if err != nil {
@@ -284,7 +319,7 @@ func (e *Engine) Exec(job Job) Result {
 	}
 	reserve.Acquire(int64(bytes))
 	defer reserve.Release(int64(bytes))
-	return Exec(job)
+	return exec(job, nil, &e.trace)
 }
 
 // ExecRelease runs one job with admission control, hands the result to
@@ -311,7 +346,7 @@ func (e *Engine) ExecRelease(job Job, consume func(Result)) {
 	if rt == nil && reserve != nil {
 		reserve.Acquire(int64(bytes))
 	}
-	r := exec(job, rt)
+	r := exec(job, rt, &e.trace)
 	consume(r)
 	if r.Err == nil && r.RT != nil && e.pool.put(bytes, r.RT) {
 		return // the pooled shard keeps its reservation

@@ -75,9 +75,24 @@ type Collector struct {
 	parts   []vm.RootGroup
 	workers []*traceScratch
 	// traceWorkers/traceMinLive override the package-level parallel
-	// tracing defaults when non-zero (SetTrace).
+	// tracing defaults when non-zero; overlapOn/occSaturated are the
+	// per-engine overlap admission and core-occupancy bits
+	// (SetTraceConfig).
 	traceWorkers int
 	traceMinLive int
+	overlapOn    bool
+	occSaturated bool
+
+	// Overlapped-cycle scratch (overlap.go): the pooled heap snapshot,
+	// the flat root-value copy with its group spans, the in-flight
+	// worker join, and the per-worker sweep batches. All retained
+	// across cycles of one run.
+	snap    heap.Snapshot
+	rootBuf []heap.HandleID
+	oparts  []vm.RootGroup
+	frozen  []heap.HandleID
+	batches []heap.FreeBatch
+	wg      sync.WaitGroup
 }
 
 // New returns a mark–sweep engine bound to rt.
@@ -94,13 +109,24 @@ func New(rt *vm.Runtime) *Collector { return &Collector{rt: rt} }
 func (m *Collector) Reattach(rt *vm.Runtime) {
 	m.rt = rt
 	m.stats = Stats{}
-	// Per-engine SetTrace overrides do not survive reattachment: a
-	// pooled engine must behave like a fresh one, not like whichever
-	// previous user tuned it last.
+	// Per-engine configuration does not survive reattachment: a pooled
+	// engine must behave like a fresh one, not like whichever previous
+	// user tuned it last.
 	m.traceWorkers, m.traceMinLive = 0, 0
+	m.overlapOn, m.occSaturated = false, false
 	parts := m.parts[:cap(m.parts)]
 	clear(parts)
 	m.parts = parts[:0]
+	// Overlap scratch: the snapshot must not pin the old heap, and the
+	// group-span copy is pointer-bearing (frames) like parts. The flat
+	// root and sweep-batch buffers are pointer-free; batches are
+	// dropped anyway so an idle pooled engine does not retain
+	// sweep-sized arrays.
+	m.snap.Release()
+	oparts := m.oparts[:cap(m.oparts)]
+	clear(oparts)
+	m.oparts = oparts[:0]
+	m.batches = nil
 	// Trace-worker scratch is kept across cycles of one run (forced-GC
 	// cells cycle thousands of times) but returns to the shared pool
 	// between runs: W private bitsets per idle engine would dwarf the
@@ -293,6 +319,11 @@ var systemPool = sync.Pool{New: func() any { return &Collector{} }}
 // the flat (or parallel) mark.
 type System struct {
 	m *Collector
+	// cfg is the per-engine tracing configuration, applied to the
+	// pooled engine at every Attach (and immediately when already
+	// attached) so configuration set before vm.New survives the
+	// pool draw.
+	cfg TraceConfig
 }
 
 // NewSystem returns an unattached baseline system; pass it to vm.New.
@@ -308,6 +339,7 @@ func (s *System) Events() vm.Events {
 		Attach:    s.Attach,
 		Detach:    s.detach,
 		Collect:   s.Collect,
+		Overlap:   s.Overlap,
 		Collector: s,
 	}
 }
@@ -318,8 +350,25 @@ func (s *System) Events() vm.Events {
 func (s *System) Attach(rt *vm.Runtime) {
 	m := systemPool.Get().(*Collector)
 	m.Reattach(rt)
+	m.SetTraceConfig(s.cfg)
 	s.m = m
 }
+
+// SetTraceConfig records the per-engine tracing configuration,
+// applying it to the attached engine immediately and to every engine
+// this system attaches later (vm.TraceConfigurable — engines call
+// this per job instead of racing on the package globals).
+func (s *System) SetTraceConfig(c TraceConfig) {
+	s.cfg = c
+	if s.m != nil {
+		s.m.SetTraceConfig(c)
+	}
+}
+
+// Overlap is the overlapped-collection capability (vm.Events.Overlap):
+// hook-free msa cycles may trace against a snapshot epoch while the
+// mutator keeps stepping.
+func (s *System) Overlap() (func() int, bool) { return s.m.CollectOverlap() }
 
 // detach implements the event table's Detach capability: the engine
 // (and its scratch) goes back to the pool. The system must not be

@@ -91,6 +91,13 @@ var (
 // restores the automatic min(GOMAXPROCS, 8)), minLive the live-object
 // admission gate (0 restores DefaultTraceMinLive). Output is
 // byte-identical for every setting; only wall-clock varies.
+//
+// Deprecated: this is process-global — two engines in one process
+// that want different settings race on it. New code configures each
+// engine through TraceConfig (Collector.SetTraceConfig, or
+// engine.Engine.SetTrace which applies it per job); the global
+// remains as the inherited default for unconfigured collectors and
+// for the CLIs' -trace-workers/-trace-min-live flags.
 func SetDefaultTrace(workers, minLive int) {
 	defaultTraceWorkers.Store(int64(workers))
 	defaultTraceMinLive.Store(int64(minLive))
@@ -108,26 +115,64 @@ var traceOccupancySaturated atomic.Bool
 // SetTraceOccupancySaturated tells automatic trace-worker resolution
 // whether the process's cores are already saturated by sweep workers
 // (true → hook-free cycles default to sequential tracing).
+//
+// Deprecated: process-global, races between engines — set
+// TraceConfig.OccupancySaturated per engine instead (engine.New does
+// this automatically for its own collectors). The global remains as a
+// fallback consulted alongside the per-engine bit.
 func SetTraceOccupancySaturated(saturated bool) {
 	traceOccupancySaturated.Store(saturated)
 }
 
+// TraceConfig is the per-engine tracing configuration: what the
+// deprecated package-level knobs set globally, scoped to one Collector
+// (and so to one engine's shards). Zero fields keep the package-level
+// default for that knob, so the zero TraceConfig is "inherit
+// everything".
+type TraceConfig struct {
+	// Workers is the trace pool size: 1 disables parallel tracing, 0
+	// inherits the default (SetDefaultTrace, else min(GOMAXPROCS, 8)).
+	Workers int
+	// MinLive is the live-object admission gate for parallel tracing
+	// and overlapped cycles; 0 inherits (DefaultTraceMinLive).
+	MinLive int
+	// Overlap admits overlapped (snapshot-epoch) collection for
+	// hook-free cycles that also clear the MinLive gate.
+	Overlap bool
+	// OccupancySaturated tells automatic worker resolution that sweep
+	// workers already occupy every core (the engine sets it when its
+	// worker count reaches GOMAXPROCS); an explicit Workers choice
+	// still wins.
+	OccupancySaturated bool
+}
+
+// SetTraceConfig applies a per-engine tracing configuration,
+// replacing any previous one. Output is byte-identical for every
+// configuration; only wall-clock and pause shape vary.
+func (m *Collector) SetTraceConfig(c TraceConfig) {
+	m.traceWorkers = c.Workers
+	m.traceMinLive = c.MinLive
+	m.overlapOn = c.Overlap
+	m.occSaturated = c.OccupancySaturated
+}
+
 // SetTrace overrides the package defaults for this engine only (0
-// keeps the package default for that knob).
+// keeps the package default for that knob). Kept for callers that
+// predate TraceConfig.
 func (m *Collector) SetTrace(workers, minLive int) {
 	m.traceWorkers = workers
 	m.traceMinLive = minLive
 }
 
-// parallelWorkers resolves how many trace workers a hook-free cycle
-// over h should use; 1 means trace sequentially.
-func (m *Collector) parallelWorkers(h *heap.Heap) int {
+// resolveWorkers resolves the configured trace pool size (>= 1)
+// without consulting the admission gate.
+func (m *Collector) resolveWorkers() int {
 	w := m.traceWorkers
 	if w == 0 {
 		w = int(defaultTraceWorkers.Load())
 	}
 	if w == 0 {
-		if traceOccupancySaturated.Load() {
+		if m.occSaturated || traceOccupancySaturated.Load() {
 			return 1
 		}
 		w = runtime.GOMAXPROCS(0)
@@ -135,9 +180,14 @@ func (m *Collector) parallelWorkers(h *heap.Heap) int {
 			w = maxTraceWorkers
 		}
 	}
-	if w <= 1 {
+	if w < 1 {
 		return 1
 	}
+	return w
+}
+
+// resolveMinLive resolves the live-object admission gate.
+func (m *Collector) resolveMinLive() int {
 	minLive := m.traceMinLive
 	if minLive == 0 {
 		minLive = int(defaultTraceMinLive.Load())
@@ -145,7 +195,17 @@ func (m *Collector) parallelWorkers(h *heap.Heap) int {
 	if minLive == 0 {
 		minLive = DefaultTraceMinLive
 	}
-	if h.NumLive() < minLive {
+	return minLive
+}
+
+// parallelWorkers resolves how many trace workers a hook-free cycle
+// over h should use; 1 means trace sequentially.
+func (m *Collector) parallelWorkers(h *heap.Heap) int {
+	w := m.resolveWorkers()
+	if w <= 1 {
+		return 1
+	}
+	if h.NumLive() < m.resolveMinLive() {
 		return 1
 	}
 	return w
@@ -164,6 +224,24 @@ type traceScratch struct {
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(traceScratch) }}
+
+// scratchFor sizes the collector's retained worker-scratch table to
+// exactly workers entries: reuse the scratch retained from the
+// previous cycle (forced-GC cells cycle constantly); draw from or
+// return to the shared pool only when the worker count changes.
+func (m *Collector) scratchFor(workers int) []*traceScratch {
+	ws := m.workers
+	for len(ws) < workers {
+		ws = append(ws, scratchPool.Get().(*traceScratch))
+	}
+	for i := workers; i < len(ws); i++ {
+		scratchPool.Put(ws[i])
+		ws[i] = nil
+	}
+	ws = ws[:workers]
+	m.workers = ws
+	return ws
+}
 
 // trace marks everything reachable from the roots of groups start,
 // start+stride, start+2*stride, ... into the worker-private bitset.
@@ -236,19 +314,7 @@ func (m *Collector) markParallel(workers int, owners []int32) []vm.RootGroup {
 	handleCap := h.HandleCap()
 	needOwners := owners != nil
 
-	// Reuse the scratch retained from the previous cycle (forced-GC
-	// cells cycle constantly); draw from or return to the shared pool
-	// only when the worker count changes.
-	ws := m.workers
-	for len(ws) < workers {
-		ws = append(ws, scratchPool.Get().(*traceScratch))
-	}
-	for i := workers; i < len(ws); i++ {
-		scratchPool.Put(ws[i])
-		ws[i] = nil
-	}
-	ws = ws[:workers]
-	m.workers = ws
+	ws := m.scratchFor(workers)
 
 	// Phase 1: private traces over statically dealt groups — nothing is
 	// shared, nothing is atomic.

@@ -18,6 +18,12 @@ type CycleRecord struct {
 	Workers int32  `json:"workers"`
 	Marked  uint64 `json:"marked"`
 	Freed   uint64 `json:"freed"`
+	// Overlap is the cycle's detached nanoseconds: time the collector
+	// spent running concurrently with the mutator (an overlapped cycle's
+	// CycleDetach..CycleResume window). Pause and Mark count only the
+	// stop-the-world share, so Pause = Mark + Sweep still holds and the
+	// pause histogram records what the mutator actually felt.
+	Overlap int64 `json:"overlap_ns,omitempty"`
 }
 
 // CycleStats is the cumulative, serialisable extract of a shard's
@@ -40,6 +46,14 @@ type CycleStats struct {
 	MaxPauseNS int64 `json:"max_pause_ns"`
 	// MaxWorkers is the widest trace-worker fan-out any cycle used.
 	MaxWorkers int32 `json:"max_workers,omitempty"`
+	// OverlapNS is the cumulative detached nanoseconds: collection time
+	// spent concurrent with the mutator rather than pausing it. The
+	// fraction OverlapNS/(OverlapNS+PauseNS) is the share of total cycle
+	// time the mutator kept running through.
+	OverlapNS int64 `json:"overlap_ns,omitempty"`
+	// Overlapped counts cycles that detached at all (ran any portion
+	// concurrently with the mutator).
+	Overlapped uint64 `json:"overlapped,omitempty"`
 	// Pause is the pause-duration histogram (log-scale ns buckets).
 	Pause Histogram `json:"pause_hist"`
 }
@@ -58,6 +72,8 @@ func (s *CycleStats) Merge(o *CycleStats) {
 	if o.MaxWorkers > s.MaxWorkers {
 		s.MaxWorkers = o.MaxWorkers
 	}
+	s.OverlapNS += o.OverlapNS
+	s.Overlapped += o.Overlapped
 	s.Pause.Merge(&o.Pause)
 }
 
@@ -84,6 +100,8 @@ type Timeline struct {
 	markEnd    int64
 	curWorkers int32
 	curMarked  uint64
+	curOverlap int64
+	detachAt   int64 // nonzero while the cycle is detached
 
 	ring  [TimelineCap]CycleRecord
 	n     uint64 // total cycles ever recorded (ring writes = n % cap)
@@ -100,6 +118,29 @@ func (t *Timeline) CycleStart() {
 	t.markEnd = t.start
 	t.curWorkers = 1
 	t.curMarked = 0
+	t.curOverlap = 0
+	t.detachAt = 0
+}
+
+// CycleDetach marks the mutator resuming while the cycle continues
+// concurrently (an overlapped collection's snapshot pause just ended).
+// Time until CycleResume counts as overlap, not pause. Ignored outside
+// an open cycle or when already detached.
+func (t *Timeline) CycleDetach() {
+	if !t.open || t.detachAt != 0 {
+		return
+	}
+	t.detachAt = t.now()
+}
+
+// CycleResume marks the mutator stopping again so the cycle can close
+// (drain and sweep). Ignored unless the cycle is detached.
+func (t *Timeline) CycleResume() {
+	if !t.open || t.detachAt == 0 {
+		return
+	}
+	t.curOverlap += t.now() - t.detachAt
+	t.detachAt = 0
 }
 
 // CycleMarkDone records the end of a mark pass: the mark/sweep phase
@@ -124,15 +165,23 @@ func (t *Timeline) CycleEnd(freed uint64) {
 	if !t.open {
 		return
 	}
+	if t.detachAt != 0 {
+		// Closing while still detached: end the overlap window here.
+		t.CycleResume()
+	}
 	t.open = false
 	end := t.now()
+	// All detached time falls inside the mark phase (the sweep never
+	// overlaps), so both Pause and Mark shed it: they report the
+	// stop-the-world share only.
 	rec := CycleRecord{
-		Pause:   end - t.start,
-		Mark:    t.markEnd - t.start,
+		Pause:   end - t.start - t.curOverlap,
+		Mark:    t.markEnd - t.start - t.curOverlap,
 		Sweep:   end - t.markEnd,
 		Workers: t.curWorkers,
 		Marked:  t.curMarked,
 		Freed:   freed,
+		Overlap: t.curOverlap,
 	}
 	t.ring[t.n%TimelineCap] = rec
 	t.n++
@@ -148,6 +197,10 @@ func (t *Timeline) CycleEnd(freed uint64) {
 	}
 	if rec.Workers > s.MaxWorkers {
 		s.MaxWorkers = rec.Workers
+	}
+	if rec.Overlap > 0 {
+		s.OverlapNS += rec.Overlap
+		s.Overlapped++
 	}
 	s.Pause.Record(rec.Pause)
 }
