@@ -13,6 +13,15 @@
 //	cgsweep -store cells/                 # persist cells; a rerun skips completed ones
 //	cgsweep -max-heap-bytes 2GiB          # bound aggregate arena bytes per process
 //	cgsweep -debug-addr localhost:6060    # live pprof + JSON progress while it runs
+//	cgsweep -server http://host:8080      # run the sweep on a cgserve instead
+//
+// With -server the sweep is not run locally at all: the spec is POSTed
+// to a cgserve and the streamed rows are written to stdout as they
+// arrive. The output is byte-identical to a local run of the same
+// figures — the server renders with the same code path — but cells are
+// served from the server's shared cache, deduplicated against other
+// clients' concurrent sweeps, and admitted under the server's heap
+// budget. -client names this client in the server's fairness lanes.
 //
 // -debug-addr serves net/http/pprof and a JSON snapshot (/progress) of
 // the sweep's live state — cells stored/computed/in-flight, queue
@@ -47,6 +56,7 @@ import (
 	"repro/internal/msa"
 	"repro/internal/obs"
 	"repro/internal/results"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -65,6 +75,10 @@ func main() {
 		"serve pprof and a JSON progress snapshot on this address (e.g. localhost:6060; empty = off)")
 	overlap := flag.Bool("overlap", false,
 		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing), forwarded to -procs children; output is identical either way")
+	server := flag.String("server", "",
+		"run the sweep on a cgserve at this URL (e.g. http://localhost:8080) instead of locally; output is byte-identical")
+	client := flag.String("client", "",
+		"client name reported to -server for its fairness lanes (default: host:pid)")
 	flag.Parse()
 	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
@@ -78,6 +92,31 @@ func main() {
 	figs, err := experiments.DemographicFigs(ids...)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *server != "" {
+		// Server mode: the sweep runs remotely; execution flags that
+		// configure a local run are contradictions, not no-ops.
+		if *procs > 0 || *storeDir != "" || *workers != 0 {
+			fatal(fmt.Errorf("-server runs the sweep remotely; -procs, -workers and -store configure a local run and cannot be combined with it"))
+		}
+		name := *client
+		if name == "" {
+			host, _ := os.Hostname()
+			name = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		spec := serve.Spec{Client: name, Figs: ids}
+		if traceCfg != (msa.TraceConfig{}) {
+			spec.Trace = &traceCfg
+		}
+		start := time.Now()
+		stats, err := (&serve.Client{Base: *server}).Sweep(spec, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cgsweep: %d cells from %s in %v (%d computed, %d from store, %d deduped in flight)\n",
+			stats.Cells, *server, time.Since(start).Round(time.Millisecond), stats.Computed, stats.Stored, stats.Deduped)
+		return
 	}
 	heapCap, err := engine.ParseByteSize(*maxHeap)
 	if err != nil {

@@ -67,6 +67,12 @@ type Job struct {
 	// cells finish in well under a millisecond, so timing experiments
 	// repeat them to keep scheduler jitter out of the comparison.
 	Repeats int
+	// Client tags the job with the sweep-server client it was admitted
+	// for, feeding the per-client fairness lanes on /progress. It is
+	// scheduling metadata, never cell identity: excluded from the
+	// results key and from every serialised form, so a tagged cell
+	// stores and streams byte-identically to an untagged one.
+	Client string `json:"-"`
 }
 
 // Result is the outcome of one Job.
@@ -311,7 +317,9 @@ func (e *Engine) ReservedBytes() int64 {
 func (e *Engine) Exec(job Job) Result {
 	reserve := e.reserve
 	if reserve == nil {
-		return exec(job, nil, &e.trace)
+		r := exec(job, nil, &e.trace)
+		e.laneDone(job)
+		return r
 	}
 	bytes, err := ArenaBytes(job)
 	if err != nil {
@@ -319,7 +327,19 @@ func (e *Engine) Exec(job Job) Result {
 	}
 	reserve.Acquire(int64(bytes))
 	defer reserve.Release(int64(bytes))
-	return exec(job, nil, &e.trace)
+	r := exec(job, nil, &e.trace)
+	e.laneDone(job)
+	return r
+}
+
+// laneDone credits a completed execution to the job's client lane (a
+// no-op for untagged jobs and unobserved engines) — the engine-side
+// half of the sweep server's fairness accounting: lanes count what the
+// engine actually executed per client, not what was merely requested.
+func (e *Engine) laneDone(job Job) {
+	if job.Client != "" {
+		e.progress.LaneComputed(job.Client)
+	}
 }
 
 // ExecRelease runs one job with admission control, hands the result to
@@ -347,6 +367,7 @@ func (e *Engine) ExecRelease(job Job, consume func(Result)) {
 		reserve.Acquire(int64(bytes))
 	}
 	r := exec(job, rt, &e.trace)
+	e.laneDone(job)
 	consume(r)
 	if r.Err == nil && r.RT != nil && e.pool.put(bytes, r.RT) {
 		return // the pooled shard keeps its reservation

@@ -4,7 +4,6 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/heap"
 	"repro/internal/vm"
@@ -71,70 +70,25 @@ const DefaultTraceMinLive = 1 << 15
 // partitions, so wide pools pay duplicated work for diminishing wins.
 // The GOMAXPROCS-derived default assumes the cycle has the machine to
 // itself (cgrun, a single timing cell); an engine sweep already
-// saturating its cores with shards should pass -trace-workers 1 (or
-// SetDefaultTrace(1, 0)) — the duplicated tracing then has no idle
-// cores to hide on, and the ROADMAP's trace-balance item tracks
-// plumbing engine occupancy into this gate.
+// saturating its cores with shards should pass -trace-workers 1 —
+// the duplicated tracing then has no idle cores to hide on, which is
+// what TraceConfig.OccupancySaturated automates.
 const maxTraceWorkers = 8
 
-// Package-level defaults, overridable per engine with SetTrace and
-// globally with SetDefaultTrace (the CLIs' -trace-workers /
-// -trace-min-live flags). Atomics: engines on concurrent shards read
-// them while a CLI sets them once at startup.
-var (
-	defaultTraceWorkers atomic.Int64
-	defaultTraceMinLive atomic.Int64
-)
-
-// SetDefaultTrace sets the package-wide parallel tracing defaults:
-// workers is the trace pool size (1 disables parallel tracing, 0
-// restores the automatic min(GOMAXPROCS, 8)), minLive the live-object
-// admission gate (0 restores DefaultTraceMinLive). Output is
-// byte-identical for every setting; only wall-clock varies.
-//
-// Deprecated: this is process-global — two engines in one process
-// that want different settings race on it. New code configures each
-// engine through TraceConfig (Collector.SetTraceConfig, or
-// engine.Engine.SetTrace which applies it per job); the global
-// remains as the inherited default for unconfigured collectors and
-// for the CLIs' -trace-workers/-trace-min-live flags.
-func SetDefaultTrace(workers, minLive int) {
-	defaultTraceWorkers.Store(int64(workers))
-	defaultTraceMinLive.Store(int64(minLive))
-}
-
-// traceOccupancySaturated records that sweep workers already occupy
-// every CPU (the engine sets it when its worker count reaches
-// GOMAXPROCS). It downgrades only the *automatic* worker resolution to
-// sequential tracing — an explicit -trace-workers or SetTrace choice
-// still wins — closing the ROADMAP trace-balance item: duplicated
-// parallel tracing has no idle cores to hide on under a saturating
-// sweep.
-var traceOccupancySaturated atomic.Bool
-
-// SetTraceOccupancySaturated tells automatic trace-worker resolution
-// whether the process's cores are already saturated by sweep workers
-// (true → hook-free cycles default to sequential tracing).
-//
-// Deprecated: process-global, races between engines — set
-// TraceConfig.OccupancySaturated per engine instead (engine.New does
-// this automatically for its own collectors). The global remains as a
-// fallback consulted alongside the per-engine bit.
-func SetTraceOccupancySaturated(saturated bool) {
-	traceOccupancySaturated.Store(saturated)
-}
-
-// TraceConfig is the per-engine tracing configuration: what the
-// deprecated package-level knobs set globally, scoped to one Collector
-// (and so to one engine's shards). Zero fields keep the package-level
-// default for that knob, so the zero TraceConfig is "inherit
-// everything".
+// TraceConfig is the tracing configuration, scoped to one Collector
+// (and so to one engine's shards). There is deliberately no
+// process-global equivalent — the former SetDefaultTrace /
+// SetTraceOccupancySaturated shims let two engines in one process race
+// on trace settings, and every path (CLI flags included) now threads a
+// TraceConfig instead. Zero fields keep the built-in default for that
+// knob, so the zero TraceConfig is "inherit everything".
 type TraceConfig struct {
 	// Workers is the trace pool size: 1 disables parallel tracing, 0
-	// inherits the default (SetDefaultTrace, else min(GOMAXPROCS, 8)).
+	// selects the automatic default (min(GOMAXPROCS, 8), or 1 under
+	// occupancy saturation).
 	Workers int
 	// MinLive is the live-object admission gate for parallel tracing
-	// and overlapped cycles; 0 inherits (DefaultTraceMinLive).
+	// and overlapped cycles; 0 inherits DefaultTraceMinLive.
 	MinLive int
 	// Overlap admits overlapped (snapshot-epoch) collection for
 	// hook-free cycles that also clear the MinLive gate.
@@ -156,9 +110,9 @@ func (m *Collector) SetTraceConfig(c TraceConfig) {
 	m.occSaturated = c.OccupancySaturated
 }
 
-// SetTrace overrides the package defaults for this engine only (0
-// keeps the package default for that knob). Kept for callers that
-// predate TraceConfig.
+// SetTrace overrides the automatic defaults for this collector only (0
+// keeps the default for that knob). Kept for callers that predate
+// TraceConfig.
 func (m *Collector) SetTrace(workers, minLive int) {
 	m.traceWorkers = workers
 	m.traceMinLive = minLive
@@ -169,10 +123,7 @@ func (m *Collector) SetTrace(workers, minLive int) {
 func (m *Collector) resolveWorkers() int {
 	w := m.traceWorkers
 	if w == 0 {
-		w = int(defaultTraceWorkers.Load())
-	}
-	if w == 0 {
-		if m.occSaturated || traceOccupancySaturated.Load() {
+		if m.occSaturated {
 			return 1
 		}
 		w = runtime.GOMAXPROCS(0)
@@ -188,14 +139,10 @@ func (m *Collector) resolveWorkers() int {
 
 // resolveMinLive resolves the live-object admission gate.
 func (m *Collector) resolveMinLive() int {
-	minLive := m.traceMinLive
-	if minLive == 0 {
-		minLive = int(defaultTraceMinLive.Load())
+	if m.traceMinLive == 0 {
+		return DefaultTraceMinLive
 	}
-	if minLive == 0 {
-		minLive = DefaultTraceMinLive
-	}
-	return minLive
+	return m.traceMinLive
 }
 
 // parallelWorkers resolves how many trace workers a hook-free cycle

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -13,10 +14,11 @@ import (
 // nil-receiver-safe: call sites thread an optional *Progress through
 // without guarding.
 type Progress struct {
-	total, stored, computed, inFlight, queued atomic.Int64
+	total, stored, computed, deduped, inFlight, queued atomic.Int64
 
 	mu      sync.Mutex
 	workers []workerState
+	lanes   map[string]*laneState
 }
 
 type workerState struct {
@@ -24,6 +26,26 @@ type workerState struct {
 	busy  int64
 	done  int64
 }
+
+// laneState is one client's slice of a shared sweep server: how many
+// cells it submitted and how each was satisfied. Lanes are the fairness
+// ledger — a server snapshot shows exactly which client's sweeps the
+// engine is spending its executions on.
+type laneState struct {
+	submitted int64 // cells this client asked for
+	computed  int64 // executed by the engine on this client's behalf
+	stored    int64 // served from the shared results store
+	deduped   int64 // attached to another client's in-flight cell
+}
+
+// maxLanes bounds the lane table on a long-running server: clients
+// beyond the cap aggregate into the catch-all "(other)" lane instead of
+// growing the map without bound.
+const maxLanes = 128
+
+// OtherLane is the catch-all lane name used once maxLanes distinct
+// clients have been seen.
+const OtherLane = "(other)"
 
 // AddTotal adds n cells to the expected total (one batch submission).
 func (p *Progress) AddTotal(n int) {
@@ -48,6 +70,90 @@ func (p *Progress) AddComputed(n int) {
 		return
 	}
 	p.computed.Add(int64(n))
+}
+
+// AddDeduped counts a cell delivered by attaching to another client's
+// in-flight computation (neither stored nor recomputed).
+func (p *Progress) AddDeduped(n int) {
+	if p == nil {
+		return
+	}
+	p.deduped.Add(int64(n))
+}
+
+// lane returns client's lane state, creating it under the cap. Callers
+// hold p.mu. Empty client names have no lane.
+func (p *Progress) lane(client string) *laneState {
+	if client == "" {
+		return nil
+	}
+	if p.lanes == nil {
+		p.lanes = make(map[string]*laneState)
+	}
+	l, ok := p.lanes[client]
+	if !ok {
+		if len(p.lanes) >= maxLanes {
+			client = OtherLane
+			if l, ok = p.lanes[client]; ok {
+				return l
+			}
+		}
+		l = &laneState{}
+		p.lanes[client] = l
+	}
+	return l
+}
+
+// LaneSubmitted counts n cells submitted by client (no-op for the empty
+// client name, so anonymous one-shot requests never grow the table).
+func (p *Progress) LaneSubmitted(client string, n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l := p.lane(client); l != nil {
+		l.submitted += int64(n)
+	}
+}
+
+// LaneComputed counts one cell the engine executed on client's behalf —
+// the engine calls it for jobs carrying a client tag, which is what
+// makes fairness auditable from /progress.
+func (p *Progress) LaneComputed(client string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l := p.lane(client); l != nil {
+		l.computed++
+	}
+}
+
+// LaneStored counts one of client's cells served from the shared store.
+func (p *Progress) LaneStored(client string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l := p.lane(client); l != nil {
+		l.stored++
+	}
+}
+
+// LaneDeduped counts one of client's cells delivered by another
+// client's in-flight computation.
+func (p *Progress) LaneDeduped(client string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l := p.lane(client); l != nil {
+		l.deduped++
+	}
 }
 
 // SetQueued records the scheduler's current ready-queue depth.
@@ -121,9 +227,22 @@ type ProgressSnapshot struct {
 	CellsTotal    int64            `json:"cells_total"`
 	CellsStored   int64            `json:"cells_stored"`
 	CellsComputed int64            `json:"cells_computed"`
+	CellsDeduped  int64            `json:"cells_deduped,omitempty"`
 	CellsInFlight int64            `json:"cells_in_flight"`
 	QueueDepth    int64            `json:"queue_depth"`
 	Workers       []WorkerSnapshot `json:"workers,omitempty"`
+	Lanes         []LaneSnapshot   `json:"lanes,omitempty"`
+}
+
+// LaneSnapshot is one client's lane: its submissions and how they were
+// satisfied. computed + stored + deduped converges on submitted as the
+// client's batches complete.
+type LaneSnapshot struct {
+	Client    string `json:"client"`
+	Submitted int64  `json:"submitted"`
+	Computed  int64  `json:"computed"`
+	Stored    int64  `json:"stored"`
+	Deduped   int64  `json:"deduped"`
 }
 
 // WorkerSnapshot is one worker's utilization: its current in-flight
@@ -144,6 +263,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		CellsTotal:    p.total.Load(),
 		CellsStored:   p.stored.Load(),
 		CellsComputed: p.computed.Load(),
+		CellsDeduped:  p.deduped.Load(),
 		CellsInFlight: p.inFlight.Load(),
 		QueueDepth:    p.queued.Load(),
 	}
@@ -152,5 +272,14 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	for _, w := range p.workers {
 		s.Workers = append(s.Workers, WorkerSnapshot{Label: w.label, Busy: w.busy, Done: w.done})
 	}
+	for client, l := range p.lanes {
+		s.Lanes = append(s.Lanes, LaneSnapshot{
+			Client: client, Submitted: l.submitted,
+			Computed: l.computed, Stored: l.stored, Deduped: l.deduped,
+		})
+	}
+	// Map iteration order is random; snapshots sort by client so the
+	// rendered JSON is stable across requests.
+	sort.Slice(s.Lanes, func(i, j int) bool { return s.Lanes[i].Client < s.Lanes[j].Client })
 	return s
 }

@@ -1,0 +1,124 @@
+package results
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// TestFlightJoinResolve pins the in-flight table's protocol: the first
+// Join leads, later Joins attach, Resolve removes the call and delivers
+// to every waiter exactly once in attach order, and a Join after
+// Resolve starts a fresh call (completed-cell dedup is the store's
+// job, not Flight's).
+func TestFlightJoinResolve(t *testing.T) {
+	var f Flight
+	var order []string
+	deliver := func(tag string) func(Outcome) {
+		return func(Outcome) { order = append(order, tag) }
+	}
+
+	c, leader := f.Join("k", engine.Job{Workload: "w"}, deliver("first"))
+	if !leader {
+		t.Fatal("first Join must lead")
+	}
+	if c2, leader := f.Join("k", engine.Job{}, deliver("second")); leader || c2 != c {
+		t.Fatal("second Join must attach to the same call, not lead")
+	}
+	if _, leader := f.Join("other", engine.Job{}, deliver("other")); !leader {
+		t.Fatal("a different key is its own call")
+	}
+	if got := f.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	if got := c.Waiters(); got != 2 {
+		t.Fatalf("Waiters = %d, want 2", got)
+	}
+	if c.Job.Workload != "w" {
+		t.Fatal("call must carry the leader's job")
+	}
+
+	c.Resolve(Outcome{})
+	if got := len(order); got != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("deliveries = %v, want [first second]", order)
+	}
+	if got := f.InFlight(); got != 1 {
+		t.Fatalf("InFlight after resolve = %d, want 1 (the other call)", got)
+	}
+	if _, leader := f.Join("k", engine.Job{}, deliver("late")); !leader {
+		t.Fatal("a Join after Resolve must start a fresh call")
+	}
+}
+
+// TestClientTagOutsideCellIdentity pins that the scheduling-only client
+// tag on engine.Job never leaks into cell identity or serialised form:
+// a tagged and an untagged job share their store key and their Encode
+// bytes, which is what lets the sweep server tag jobs for fairness
+// accounting while staying byte-identical to batch runs.
+func TestClientTagOutsideCellIdentity(t *testing.T) {
+	plain := engine.Job{Workload: workload.All()[0].Name, Size: 1, Collector: "cg"}
+	tagged := plain
+	tagged.Client = "alice"
+
+	kp, err := Key(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := Key(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp != kt {
+		t.Errorf("client tag changed the store key:\n%s\n%s", kp, kt)
+	}
+
+	ep, err := Encode(Outcome{Job: plain, Payload: Payload{Kind: "none"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := Encode(Outcome{Job: tagged, Payload: Payload{Kind: "none"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ep, et) {
+		t.Errorf("client tag changed the serialised outcome:\n%s%s", ep, et)
+	}
+	if bytes.Contains(et, []byte("alice")) {
+		t.Error("client name leaked into the serialised outcome")
+	}
+}
+
+// TestStoreGetKey pins the key-addressed read path the cell endpoint
+// serves from: the raw stored bytes come back for the exact key, and
+// an uncomputed key is a miss, not an error.
+func TestStoreGetKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := engine.Job{Workload: workload.All()[0].Name, Size: 1, Collector: "cg"}
+	o := Outcome{Job: job, Payload: Payload{Kind: "none"}}
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	key, err := Key(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.GetKey(key)
+	if err != nil || !ok {
+		t.Fatalf("GetKey = %v, %v", ok, err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Job != job {
+		t.Fatalf("GetKey round-trip job = %+v, want %+v", got.Job, job)
+	}
+	if _, ok, err := s.GetKey(key + "-missing"); err != nil || ok {
+		t.Fatalf("uncomputed key: ok=%v err=%v, want miss", ok, err)
+	}
+}

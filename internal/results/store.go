@@ -69,9 +69,40 @@ func Open(dir string) (*Store, error) {
 // Dir reports the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-func (s *Store) path(key string) string {
+// KeyHash is the content-address of a cell key: the hex SHA-256 that
+// names its store file and — because cells are deterministic functions
+// of their key — doubles as a strong HTTP ETag for served outcomes.
+func KeyHash(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, KeyHash(key)+".json")
+}
+
+// GetKey returns the stored cell for an exact key string, as the raw
+// Encode bytes — the shape an HTTP cell endpoint serves verbatim. The
+// stored cell is decoded and its key recomputed before returning, so a
+// torn or stale file reads as a miss plus the underlying error, exactly
+// like Get.
+func (s *Store) GetKey(key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	o, err := Decode(data)
+	if err != nil {
+		return nil, false, err
+	}
+	back, err := Key(o.Job)
+	if err != nil || back != key {
+		return nil, false, fmt.Errorf("results: store file for %q holds cell %q", key, back)
+	}
+	return data, true, nil
 }
 
 // Get returns the stored outcome of job, if present. A stored file that

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the sweep server's NDJSON protocol: POST the spec,
+// decode events, reassemble the deterministic byte stream. It is what
+// cgsweep -server runs instead of a local backend — everything
+// downstream of it (stdout, diffs, goldens) cannot tell the
+// difference.
+type Client struct {
+	// Base is the server URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient). Sweeps
+	// are long-lived streams; leave timeouts to contexts, not the
+	// transport.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Sweep posts spec and streams the sweep to w: data events append their
+// bytes verbatim (so w receives exactly the batch cgsweep output for
+// the same figures), outcome events append one results.Encode line
+// each. It returns the server's terminal stats. A connection that drops
+// before the done event — a truncated stream — is an error, never a
+// silently short table.
+func (c *Client) Sweep(spec Spec, w io.Writer) (DoneStats, error) {
+	var stats DoneStats
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return stats, fmt.Errorf("serve: encode spec: %w", err)
+	}
+	resp, err := c.http().Post(strings.TrimRight(c.Base, "/")+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return stats, fmt.Errorf("serve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return stats, fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			var ev Event
+			if jerr := json.Unmarshal(line, &ev); jerr != nil {
+				return stats, fmt.Errorf("serve: bad event line: %w", jerr)
+			}
+			switch {
+			case ev.Error != "":
+				return stats, fmt.Errorf("serve: %s", ev.Error)
+			case ev.Done != nil:
+				return *ev.Done, nil
+			case len(ev.Outcome) > 0:
+				if _, werr := w.Write(append(ev.Outcome, '\n')); werr != nil {
+					return stats, werr
+				}
+			case ev.Data != "":
+				if _, werr := io.WriteString(w, ev.Data); werr != nil {
+					return stats, werr
+				}
+			}
+		}
+		if err == io.EOF {
+			return stats, fmt.Errorf("serve: stream truncated before done event")
+		}
+		if err != nil {
+			return stats, fmt.Errorf("serve: %w", err)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/results"
+	"repro/internal/workload"
+)
+
+// The acceptance trio: figs 4.1 (16 cells: cg+noopt and cg per
+// benchmark), 4.5 (8 cg cells — the same keys as 4.1's cg half) and
+// 4.11 (8 cg+reset cells). 32 cells per client, 24 unique — the 8-cell
+// gap is what the shared cache and the in-flight dedup are measured by.
+var trioFigs = []string{"4.1", "4.5", "4.11"}
+
+const (
+	trioCells  = 32
+	trioUnique = 24
+)
+
+func trioGolden(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("../experiments/testdata/sweep_4_1_4_5_4_11.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// newTestServer boots a full server — shared engine, shared store,
+// progress lanes — on an httptest listener and returns a client for it.
+func newTestServer(t *testing.T) (*Server, *Client, *obs.Progress) {
+	t.Helper()
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &obs.Progress{}
+	srv := New(Config{Engine: engine.New(4).SetProgress(prog), Store: store, Progress: prog})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Drain()
+		srv.Wait()
+		ts.Close()
+	})
+	return srv, &Client{Base: ts.URL}, prog
+}
+
+// TestServerSweepGolden is the satellite acceptance test: a sweep
+// streamed through the server — spec encoding, scheduler, NDJSON
+// events, client reassembly — is byte-identical to the seed capture of
+// the batch cgsweep over the same figures.
+func TestServerSweepGolden(t *testing.T) {
+	_, cl, _ := newTestServer(t)
+	var buf bytes.Buffer
+	stats, err := cl.Sweep(Spec{Client: "golden", Figs: trioFigs}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := trioGolden(t); buf.String() != want {
+		t.Errorf("server sweep diverged from the batch golden:\n--- got\n%s--- want\n%s", buf.String(), want)
+	}
+	// Figures run sequentially within one session, so 4.5's cells are
+	// store hits against 4.1's cg half: the same 8/24 split the batch
+	// resume test pins.
+	want := DoneStats{Cells: trioCells, Computed: trioUnique, Stored: trioCells - trioUnique}
+	if stats != want {
+		t.Errorf("stats = %+v, want %+v", stats, want)
+	}
+}
+
+// TestConcurrentSweepsDedupInFlight is the exactly-once acceptance
+// test: two clients run the identical sweep concurrently against one
+// server. Both streams must be complete and byte-identical to the
+// batch golden, and the server-wide computed counter must equal the
+// number of *unique* cells — every overlapping cell executed once, no
+// matter how the two sweeps interleaved (in-flight joins and store
+// hits split the remainder between them, timing-dependently).
+func TestConcurrentSweepsDedupInFlight(t *testing.T) {
+	_, cl, prog := newTestServer(t)
+	clients := []string{"alice", "bob"}
+	outs := make([]bytes.Buffer, len(clients))
+	stats := make([]DoneStats, len(clients))
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, name := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[i], errs[i] = cl.Sweep(Spec{Client: name, Figs: trioFigs}, &outs[i])
+		}()
+	}
+	wg.Wait()
+
+	golden := trioGolden(t)
+	for i, name := range clients {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", name, errs[i])
+		}
+		if outs[i].String() != golden {
+			t.Errorf("%s's stream diverged from the batch golden:\n--- got\n%s", name, outs[i].String())
+		}
+		if got := stats[i]; got.Cells != trioCells || got.Computed+got.Stored+got.Deduped != trioCells {
+			t.Errorf("%s stats do not partition: %+v", name, got)
+		}
+	}
+
+	s := prog.Snapshot()
+	if s.CellsComputed != trioUnique {
+		t.Errorf("CellsComputed = %d, want %d (each unique cell computed exactly once)",
+			s.CellsComputed, trioUnique)
+	}
+	if got := stats[0].Computed + stats[1].Computed; got != trioUnique {
+		t.Errorf("session computed counts sum to %d, want %d", got, trioUnique)
+	}
+	if got := s.CellsStored + s.CellsDeduped; got != 2*trioCells-trioUnique {
+		t.Errorf("stored+deduped = %d, want %d", got, 2*trioCells-trioUnique)
+	}
+	if len(s.Lanes) != len(clients) {
+		t.Fatalf("lanes = %+v, want one per client", s.Lanes)
+	}
+	for i, lane := range s.Lanes {
+		if lane.Client != clients[i] {
+			t.Errorf("lane %d is %q, want %q (sorted)", i, lane.Client, clients[i])
+		}
+		if lane.Submitted != trioCells || lane.Computed+lane.Stored+lane.Deduped != trioCells {
+			t.Errorf("lane %s does not partition: %+v", lane.Client, lane)
+		}
+	}
+}
+
+// TestSchedulerInFlightDedup drives the dedup path deterministically:
+// with no executors running, two sessions submit the same cell — the
+// second must attach to the first's in-flight call (one queued task,
+// dedup accounted), and resolving the task must deliver to both
+// exactly once, in attach order.
+func TestSchedulerInFlightDedup(t *testing.T) {
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(engine.New(1), store, nil)
+	a, _ := s.OpenSession("a")
+	b, _ := s.OpenSession("b")
+	var order []string
+	s.submit(a, "cell-k", engine.Job{}, func(results.Outcome) { order = append(order, "a") })
+	s.submit(b, "cell-k", engine.Job{}, func(results.Outcome) { order = append(order, "b") })
+	if s.queued != 1 {
+		t.Fatalf("queued = %d, want 1 (second submit attached, not queued)", s.queued)
+	}
+	if got := b.Stats().Deduped; got != 1 {
+		t.Fatalf("b deduped = %d, want 1", got)
+	}
+	s.mu.Lock()
+	task := s.popLocked()
+	s.mu.Unlock()
+	if task == nil || task.sess != a {
+		t.Fatal("queued task must belong to the leader session")
+	}
+	task.fc.Resolve(results.Outcome{})
+	if strings.Join(order, ",") != "a,b" {
+		t.Fatalf("deliveries = %v, want both, in attach order", order)
+	}
+	if s.flight.InFlight() != 0 {
+		t.Fatal("resolved call still in the flight table")
+	}
+}
+
+// TestSchedulerRoundRobin pins the fairness discipline white-box: with
+// session a holding three queued cells and session b one, executors
+// alternate a, b, a, a — b's small sweep is served on the second pop,
+// not after a's queue drains. A session that empties leaves the ring
+// and rejoins at the tail on its next submit.
+func TestSchedulerRoundRobin(t *testing.T) {
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(engine.New(1), store, nil)
+	a, _ := s.OpenSession("a")
+	b, _ := s.OpenSession("b")
+	submit := func(sess *Session, key string) {
+		s.submit(sess, key, engine.Job{}, func(results.Outcome) {})
+	}
+	pop := func() string {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		task := s.popLocked()
+		if task == nil {
+			return ""
+		}
+		return task.fc.Key
+	}
+
+	submit(a, "a1")
+	submit(a, "a2")
+	submit(a, "a3")
+	submit(b, "b1")
+	for i, want := range []string{"a1", "b1", "a2", "a3", ""} {
+		if got := pop(); got != want {
+			t.Fatalf("pop %d = %q, want %q", i, got, want)
+		}
+	}
+
+	// Rejoin at the tail: b empties, submits again, and waits its turn
+	// behind a's existing queue position.
+	submit(a, "a4")
+	submit(b, "b2")
+	if got := pop(); got != "a4" {
+		t.Fatalf("after rejoin, first pop = %q, want a4", got)
+	}
+	if got := pop(); got != "b2" {
+		t.Fatalf("after rejoin, second pop = %q, want b2", got)
+	}
+}
+
+// TestCellEndpointETag pins the cache semantics of GET /cell/{key}: the
+// key's hash is a permanently valid strong ETag (If-None-Match answers
+// 304 even for cells never computed — the key alone determines the
+// bytes), a stored cell serves its immutable JSON, and an unknown cell
+// without a conditional is a 404.
+func TestCellEndpointETag(t *testing.T) {
+	_, cl, _ := newTestServer(t)
+	bench := workload.All()[0].Name
+	cell := CellSpec{Workload: bench, Size: 1, Collector: "cg"}
+
+	var buf bytes.Buffer
+	if _, err := cl.Sweep(Spec{Cells: []CellSpec{cell}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	o, err := results.Decode([]byte(line))
+	if err != nil {
+		t.Fatalf("streamed outcome line does not decode: %v\n%s", err, line)
+	}
+	if o.Job.Workload != bench {
+		t.Fatalf("streamed outcome is for %q, want %q", o.Job.Workload, bench)
+	}
+
+	key, err := results.Key(cell.Job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellURL := cl.Base + "/cell/" + url.PathEscape(key)
+	etag := `"` + results.KeyHash(key) + `"`
+
+	resp, err := http.Get(cellURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET cell: %s", resp.Status)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Errorf("ETag = %s, want %s", got, etag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Errorf("Cache-Control = %q, want immutable", cc)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, cellURL, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET = %s, want 304", resp2.Status)
+	}
+
+	// The 304 needs only the key, not the store: a valid key that was
+	// never computed still revalidates, while a plain GET of it is 404.
+	otherKey, err := results.Key(engine.Job{Workload: bench, Size: 2, Collector: "cg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherURL := cl.Base + "/cell/" + url.PathEscape(otherKey)
+	req, _ = http.NewRequest(http.MethodGet, otherURL, nil)
+	req.Header.Set("If-None-Match", `"`+results.KeyHash(otherKey)+`"`)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET of uncomputed cell = %s, want 304", resp3.Status)
+	}
+	resp4, err := http.Get(otherURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET of uncomputed cell = %s, want 404", resp4.Status)
+	}
+}
+
+// TestBadSpecIsRejectedAtAdmission pins the 400 path: an unknown
+// figure and an unknown collector both fail before any cell runs, with
+// no stream started.
+func TestBadSpecIsRejectedAtAdmission(t *testing.T) {
+	_, cl, prog := newTestServer(t)
+	for _, spec := range []Spec{
+		{Figs: []string{"4.99"}},
+		{Cells: []CellSpec{{Workload: workload.All()[0].Name, Size: 1, Collector: "not-a-collector"}}},
+	} {
+		if _, err := cl.Sweep(spec, &bytes.Buffer{}); err == nil ||
+			!strings.Contains(err.Error(), "400") {
+			t.Errorf("spec %+v: err = %v, want 400", spec, err)
+		}
+	}
+	if s := prog.Snapshot(); s.CellsTotal != 0 {
+		t.Errorf("rejected specs submitted cells: %+v", s)
+	}
+}
+
+// TestDrainFinishesStreamsAndRefusesNew pins the graceful-shutdown
+// contract: after Drain, new sweeps get 503 and health reports
+// draining, but a session admitted before the drain runs to completion
+// — every cell delivered, Wait returning only after it closed.
+func TestDrainFinishesStreamsAndRefusesNew(t *testing.T) {
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &obs.Progress{}
+	srv := New(Config{Engine: engine.New(2).SetProgress(prog), Store: store, Progress: prog})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sess, err := srv.sched.OpenSession("early")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Drain()
+
+	if h := srv.Health(); !h.Draining || h.Status != "draining" {
+		t.Fatalf("health after drain = %+v", h)
+	}
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(`{"figs":["4.1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /sweep while draining = %s, want 503", resp.Status)
+	}
+	if _, err := srv.sched.OpenSession("late"); err != ErrDraining {
+		t.Fatalf("OpenSession while draining = %v, want ErrDraining", err)
+	}
+
+	// The pre-drain session still completes its sweep in full.
+	jobs := []engine.Job{{Workload: workload.All()[0].Name, Size: 1, Collector: "cg"}}
+	delivered := 0
+	if err := sess.Run(jobs, func(i int, o results.Outcome) {
+		if err := o.Failed(); err != nil {
+			t.Errorf("cell %d failed during drain: %v", i, err)
+		}
+		delivered++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != len(jobs) {
+		t.Fatalf("delivered %d of %d cells during drain", delivered, len(jobs))
+	}
+	sess.Close()
+
+	done := make(chan struct{})
+	go func() {
+		srv.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Wait did not return after the last session closed")
+	}
+	if h := srv.Health(); h.InFlight != 0 {
+		t.Fatalf("in-flight after drain completed = %d", h.InFlight)
+	}
+}
+
+// TestSweepMethodAndBodyErrors pins the non-stream error statuses.
+func TestSweepMethodAndBodyErrors(t *testing.T) {
+	_, cl, _ := newTestServer(t)
+	resp, err := http.Get(cl.Base + "/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sweep = %s, want 405", resp.Status)
+	}
+	resp, err = http.Post(cl.Base+"/sweep", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST bad body = %s, want 400", resp.Status)
+	}
+}
+
+// TestClientTruncationDetected pins the client's drain observability: a
+// stream that ends without a done event is an error, never a silently
+// short table.
+func TestClientTruncationDetected(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "{\"data\":\"partial row\"}\n")
+	}))
+	defer ts.Close()
+	var buf bytes.Buffer
+	_, err := (&Client{Base: ts.URL}).Sweep(Spec{Figs: []string{"4.1"}}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncation error", err)
+	}
+	if buf.String() != "partial row" {
+		t.Fatalf("partial data not delivered before the error: %q", buf.String())
+	}
+}

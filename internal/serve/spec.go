@@ -1,0 +1,96 @@
+// Package serve is the sweep server: the long-lived, multi-client
+// counterpart of the batch cgsweep pipeline. Clients POST a sweep Spec
+// and rows stream back as NDJSON events the moment cells complete —
+// in the same index order, and byte for byte the same rendered bytes,
+// as a local batch run of the same figures. One shared engine and one
+// shared content-addressed store sit behind every client:
+//
+//   - the store is the shared cache (a cell any client ever computed is
+//     a disk hit for every later client, and its key doubles as an
+//     HTTP ETag on GET /cell/{key});
+//   - an in-flight table (results.Flight) dedups cells that are
+//     *currently* being computed, so two concurrent clients asking for
+//     overlapping grids execute each overlapping cell exactly once
+//     while both streams receive it;
+//   - admission is the engine's existing heap.Reserve byte reservation
+//     plus a max-in-flight executor cap;
+//   - a per-session round-robin scheduler provides fairness: one huge
+//     sweep cannot starve small ones, because executors take the next
+//     cell from each client's queue in turn.
+//
+// Determinism survives the sharing: a cell's outcome is a pure function
+// of its key, emission per client is index-ordered (the results.Backend
+// contract), and rendering is the same experiments.Sweep the batch CLI
+// uses — so a streamed sweep is byte-identical to a local one no matter
+// how many other clients the server is juggling.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/msa"
+	"repro/internal/results"
+)
+
+// Spec is the POST /sweep request body: which cells the client wants
+// and how the stream should be attributed. Figs and Cells may be
+// combined; both empty means every demographic figure, matching batch
+// cgsweep's default.
+type Spec struct {
+	// Client names the submitting client for the /progress fairness
+	// lanes and the engine's per-client accounting. Empty is anonymous:
+	// the sweep still gets its own fair scheduling queue (queues are
+	// per-session), it just doesn't appear as a named lane.
+	Client string `json:"client,omitempty"`
+	// Figs lists demographic figure ids ("4.1", "A.2", ...) to render
+	// as streamed table rows.
+	Figs []string `json:"figs,omitempty"`
+	// Cells lists explicit raw cells; each streams back as one NDJSON
+	// outcome event (the results.Encode line) in submission order.
+	Cells []CellSpec `json:"cells,omitempty"`
+	// Trace carries the client's trace configuration (-trace-workers,
+	// -overlap, ...) as an advisory hint. The server's shared engine
+	// keeps its own configuration — trace settings are scheduling
+	// knobs whose output is byte-identical by construction (the PR 8
+	// property tests pin this), so honoring the server's choice cannot
+	// change any byte a client receives.
+	Trace *msa.TraceConfig `json:"trace,omitempty"`
+}
+
+// CellSpec is one explicit cell of a Cells sweep, mirroring engine.Job
+// field for field (sizes, collector specs, gc-every, heap budget).
+type CellSpec struct {
+	Workload  string `json:"workload"`
+	Size      int    `json:"size"`
+	Collector string `json:"collector"`
+	GCEvery   uint64 `json:"gc_every,omitempty"`
+	HeapBytes int    `json:"heap_bytes,omitempty"`
+	Repeats   int    `json:"repeats,omitempty"`
+}
+
+// Job converts the cell spec to its engine job.
+func (c CellSpec) Job() engine.Job {
+	return engine.Job{
+		Workload: c.Workload, Size: c.Size, Collector: c.Collector,
+		GCEvery: c.GCEvery, HeapBytes: c.HeapBytes, Repeats: c.Repeats,
+	}
+}
+
+// Jobs validates every explicit cell against the registries (a bad
+// workload or collector spec is a 400 at admission, not a mid-stream
+// error event) and returns the job list.
+func (s Spec) Jobs() ([]engine.Job, error) {
+	if len(s.Cells) == 0 {
+		return nil, nil
+	}
+	jobs := make([]engine.Job, len(s.Cells))
+	for i, c := range s.Cells {
+		job := c.Job()
+		if _, err := results.Key(job); err != nil {
+			return nil, fmt.Errorf("serve: cell %d: %w", i, err)
+		}
+		jobs[i] = job
+	}
+	return jobs, nil
+}
