@@ -83,6 +83,8 @@ func main() {
 		"time the engine's pooled execution path (Runtime.Reset steady state) instead of cold per-iteration construction; cells are named Workload-pooled/...")
 	benchArena := flag.Bool("bench-arena", false,
 		"with -bench, time the arena alloc/free/churn micro-benchmark family (slab arena vs the first-fit reference model) instead of the Workload family")
+	benchTape := flag.Bool("bench-tape", false,
+		"with -bench, time the event-tape family instead: each cell driven normally, driven while recording, and replayed from its tape (drive/record/replay variants; DESIGN.md §12)")
 	benchOverlap := flag.Bool("bench-overlap", false,
 		"with -bench, time the pause-focused family instead: the cycle-heavy -bench-gc-every cells through the pooled engine, reporting p95/max stop-the-world pause from the cycle timelines alongside ns/op (pair with -overlap to measure the overlapped schedule)")
 	baseline := flag.String("baseline", "", "baseline report to compare the -bench run against")
@@ -116,6 +118,9 @@ func main() {
 		}
 		if *benchOverlap {
 			run = runOverlapBenchMode
+		}
+		if *benchTape {
+			run = runTapeBenchMode
 		}
 		if err := run(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "cgbench:", err)

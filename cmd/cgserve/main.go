@@ -56,6 +56,8 @@ func main() {
 		"live-object threshold below which a cycle is traced sequentially (0 = default)")
 	overlap := flag.Bool("overlap", false,
 		"overlap hook-free collection cycles with the mutator; output is identical either way")
+	tapeOn := flag.Bool("tape", true,
+		"cache each (workload, size) row's event tape and replay it for the row's other cells; output is identical either way")
 	flag.Parse()
 	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
@@ -64,7 +66,7 @@ func main() {
 		fatal(err)
 	}
 	prog := &obs.Progress{}
-	eng := engine.New(*workers).SetMaxHeapBytes(heapCap).SetProgress(prog).SetTrace(traceCfg)
+	eng := engine.New(*workers).SetMaxHeapBytes(heapCap).SetProgress(prog).SetTrace(traceCfg).SetTapeCache(*tapeOn)
 
 	dir, tempStore := *storeDir, false
 	if dir == "" {

@@ -79,6 +79,8 @@ func main() {
 		"run the sweep on a cgserve at this URL (e.g. http://localhost:8080) instead of locally; output is byte-identical")
 	client := flag.String("client", "",
 		"client name reported to -server for its fairness lanes (default: host:pid)")
+	tapeOn := flag.Bool("tape", true,
+		"cache each (workload, size) row's event tape and replay it for the row's other cells, forwarded to -procs children; output is identical either way")
 	flag.Parse()
 	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
@@ -142,13 +144,14 @@ func main() {
 			perChild = (engine.New(0).Workers() + *procs - 1) / *procs
 		}
 		argv := []string{bin, "-workers", strconv.Itoa(perChild), "-max-heap-bytes", strconv.FormatInt(heapCap, 10),
-			"-trace-workers", strconv.Itoa(*traceWorkers), "-trace-min-live", strconv.Itoa(*traceMinLive)}
+			"-trace-workers", strconv.Itoa(*traceWorkers), "-trace-min-live", strconv.Itoa(*traceMinLive),
+			"-tape=" + strconv.FormatBool(*tapeOn)}
 		if *overlap {
 			argv = append(argv, "-overlap")
 		}
 		backend = &dist.Coordinator{Spawn: dist.Command(argv, os.Stderr), Procs: *procs, Obs: prog}
 	} else {
-		eng = engine.New(*workers).SetMaxHeapBytes(heapCap).SetProgress(prog).SetTrace(traceCfg)
+		eng = engine.New(*workers).SetMaxHeapBytes(heapCap).SetProgress(prog).SetTrace(traceCfg).SetTapeCache(*tapeOn)
 		backend = results.Local{Eng: eng, Obs: prog}
 	}
 

@@ -42,6 +42,8 @@ func main() {
 		"serve pprof and a JSON progress snapshot on this address (e.g. localhost:6061; empty = off)")
 	overlap := flag.Bool("overlap", false,
 		"overlap hook-free collection cycles with the mutator (snapshot-at-the-beginning tracing); output is identical either way")
+	tapeOn := flag.Bool("tape", true,
+		"cache each (workload, size) row's event tape and replay it for the row's other cells; output is identical either way")
 	flag.Parse()
 	traceCfg := msa.TraceConfig{Workers: *traceWorkers, MinLive: *traceMinLive, Overlap: *overlap}
 
@@ -50,7 +52,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cgworker:", err)
 		os.Exit(2)
 	}
-	eng := engine.New(*workers).SetMaxHeapBytes(cap).SetTrace(traceCfg)
+	eng := engine.New(*workers).SetMaxHeapBytes(cap).SetTrace(traceCfg).SetTapeCache(*tapeOn)
 
 	var prog *obs.Progress
 	if *debugAddr != "" {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/msa"
 	"repro/internal/obs"
+	"repro/internal/tape"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -118,10 +119,10 @@ func ArenaBytes(job Job) (int, error) {
 // Exec runs one job synchronously in the caller's goroutine. It is the
 // unit of work Engine.Run distributes; callers with their own
 // per-benchmark control flow (probe runs, budget retry loops) may call
-// it directly. Package-level Exec ignores any engine memory cap and
-// trace configuration; use Engine.Exec for throttled, configured
-// admission.
-func Exec(job Job) Result { return exec(job, nil, nil) }
+// it directly. Package-level Exec ignores any engine memory cap, trace
+// configuration and tape cache; use Engine.Exec for throttled,
+// configured admission.
+func Exec(job Job) Result { return exec(job, nil, nil, nil, nil) }
 
 // traceConfigurer is what a collector must implement for the engine to
 // hand it the per-engine trace configuration; *msa.System does.
@@ -134,7 +135,13 @@ type traceConfigurer interface {
 // never returns shards to the pool itself — the caller does, once the
 // Result can no longer escape (see ExecRelease). A non-nil trace is
 // applied to collectors that accept one before the shard attaches.
-func exec(job Job, rt *vm.Runtime, trace *msa.TraceConfig) (res Result) {
+//
+// A non-nil tc consults the event-tape cache: a hit replays the row's
+// recorded operation stream through the runtime instead of re-running
+// driver logic (bit-identical results, no driver overhead); a miss may
+// claim the row's recording slot and capture the tape as a side effect
+// of the first repeat. p counts those outcomes on the debug surface.
+func exec(job Job, rt *vm.Runtime, trace *msa.TraceConfig, tc *tapeCache, p *obs.Progress) (res Result) {
 	res.Job = job
 	defer func() {
 		if r := recover(); r != nil {
@@ -163,6 +170,26 @@ func exec(job Job, rt *vm.Runtime, trace *msa.TraceConfig) (res Result) {
 		reps = 1
 	}
 
+	key := tapeKey{workload: job.Workload, size: job.Size}
+	var rp *tape.Replayer
+	recording := false
+	if tc != nil {
+		if t, ok := tc.lookup(key); ok {
+			rp = tape.NewReplayer(t)
+		} else if tc.beginRecord(key) {
+			recording = true
+			// The claim must not leak if this run dies before publish
+			// (workload panic, OOM): the recover above eats the panic,
+			// so release here, where publish has already flipped the
+			// flag on the success path.
+			defer func() {
+				if recording {
+					tc.abortRecord(key)
+				}
+			}()
+		}
+	}
+
 	start := time.Now()
 	for i := 0; i < reps; i++ {
 		// The forced-collection instrumentation is a declarative field
@@ -180,7 +207,36 @@ func exec(job Job, rt *vm.Runtime, trace *msa.TraceConfig) (res Result) {
 		} else {
 			rt.Reset(ev)
 		}
-		spec.Run(rt, job.Size)
+		if rp != nil {
+			if err := rp.Run(rt); err != nil {
+				res.Err = err
+				return res
+			}
+			p.TapeReplayed()
+		} else {
+			var rec *tape.Recorder
+			if recording && i == 0 {
+				rec = tape.NewRecorder(rt, tape.Meta{
+					Workload:  job.Workload,
+					Size:      job.Size,
+					Threads:   spec.Threads(job.Size),
+					HeapBytes: spec.HeapBytes(job.Size),
+				})
+			}
+			spec.Run(rt, job.Size)
+			if rec != nil {
+				// The run completed without error, so the tape is a
+				// full recording: publish now and replay the remaining
+				// repeats from it — they share the one tape.
+				t := rec.Finish()
+				tc.publish(key, t)
+				recording = false
+				p.TapeRecorded()
+				if i+1 < reps {
+					rp = tape.NewReplayer(t)
+				}
+			}
+		}
 		// An overlapped cycle may still be tracing when the workload
 		// returns; finish it so extraction reads quiescent state.
 		rt.Quiesce()
@@ -200,6 +256,7 @@ type Engine struct {
 	trace    msa.TraceConfig // per-engine collector trace settings
 	reserve  *heap.Reserve   // nil when uncapped
 	pool     *shardPool
+	tapes    *tapeCache    // nil when the tape cache is disabled
 	progress *obs.Progress // nil unless a debug surface is watching
 }
 
@@ -222,7 +279,7 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: workers, pool: newShardPool(workers)}
+	e := &Engine{workers: workers, pool: newShardPool(workers), tapes: newTapeCache()}
 	if workers >= runtime.GOMAXPROCS(0) {
 		e.trace.OccupancySaturated = true
 		occupancyOnce.Do(func() {
@@ -276,6 +333,9 @@ func (e *Engine) SetMaxHeapBytes(n int64) *Engine {
 	e.pool.drain()
 	if n <= 0 {
 		e.reserve = nil
+		if e.tapes != nil {
+			e.tapes.setReserve(nil)
+		}
 		return e
 	}
 	r := heap.NewReserve(n)
@@ -288,6 +348,11 @@ func (e *Engine) SetMaxHeapBytes(n int64) *Engine {
 		return false
 	})
 	e.reserve = r
+	if e.tapes != nil {
+		// Cached tapes carry charges against the old regime's reserve;
+		// rebinding clears them.
+		e.tapes.setReserve(r)
+	}
 	return e
 }
 
@@ -317,7 +382,7 @@ func (e *Engine) ReservedBytes() int64 {
 func (e *Engine) Exec(job Job) Result {
 	reserve := e.reserve
 	if reserve == nil {
-		r := exec(job, nil, &e.trace)
+		r := exec(job, nil, &e.trace, e.tapes, e.progress)
 		e.laneDone(job)
 		return r
 	}
@@ -327,7 +392,7 @@ func (e *Engine) Exec(job Job) Result {
 	}
 	reserve.Acquire(int64(bytes))
 	defer reserve.Release(int64(bytes))
-	r := exec(job, nil, &e.trace)
+	r := exec(job, nil, &e.trace, e.tapes, e.progress)
 	e.laneDone(job)
 	return r
 }
@@ -366,7 +431,7 @@ func (e *Engine) ExecRelease(job Job, consume func(Result)) {
 	if rt == nil && reserve != nil {
 		reserve.Acquire(int64(bytes))
 	}
-	r := exec(job, rt, &e.trace)
+	r := exec(job, rt, &e.trace, e.tapes, e.progress)
 	e.laneDone(job)
 	consume(r)
 	if r.Err == nil && r.RT != nil && e.pool.put(bytes, r.RT) {

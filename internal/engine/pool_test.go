@@ -48,7 +48,9 @@ func TestExecReleaseRecyclesShards(t *testing.T) {
 // running and pooled arenas alike. When admission stalls, the reserve
 // evicts pooled shards — largest arena first — instead of blocking.
 func TestMemoryCapRetainsPooling(t *testing.T) {
-	eng := New(2).SetMaxHeapBytes(3 << 24) // 48 MiB
+	// Tape cache off: this test pins the reserve to exact *arena* bytes,
+	// and cached tapes would add their own (legitimate) charges.
+	eng := New(2).SetMaxHeapBytes(3 << 24).SetTapeCache(false) // 48 MiB
 	run := func(bytes int) {
 		t.Helper()
 		job := Job{Workload: "javac", Size: 1, Collector: "cg", HeapBytes: bytes}
@@ -91,7 +93,9 @@ func TestMemoryCapRetainsPooling(t *testing.T) {
 // remain.
 func TestMemoryCapAdmissionExact(t *testing.T) {
 	const cap = 5 << 22 // 20 MiB: forces both blocking and eviction
-	eng := New(4).SetMaxHeapBytes(cap)
+	// Tape cache off, as above: the quiescent-reserve == pooled-arena
+	// equality below has no tape-byte term.
+	eng := New(4).SetMaxHeapBytes(cap).SetTapeCache(false)
 	sizes := []int{1 << 21, 1 << 22, 3 << 21, 1 << 23} // 2, 4, 6, 8 MiB
 	jobs := make([]Job, 24)
 	for i := range jobs {

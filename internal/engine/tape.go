@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/heap"
+	"repro/internal/tape"
+)
+
+// tapeKey identifies a recorded event stream. A tape is a pure
+// function of (workload, size): the driver's control flow depends only
+// on its deterministic RNG and on graph reads whose Nil-ness every
+// collector preserves, so the collector / heap-budget / gc-every /
+// repeat axes of the matrix all replay one recording.
+type tapeKey struct {
+	workload string
+	size     int
+}
+
+// tapeCache holds one tape per (workload, size) row of the matrix.
+// Recording is opportunistic singleflight: the first cell of a row to
+// arrive claims the recording slot and drives the workload normally
+// (recording as a side effect); concurrent cells of the same row miss
+// and drive normally too — nobody ever blocks on a recording in
+// flight. Only complete, error-free runs publish; a panic mid-record
+// releases the claim so the next cell can try again.
+//
+// Tape bytes are charged against the engine's heap reserve (when one
+// is set) via non-blocking admission: a tape that does not fit is
+// simply dropped — the cache is an accelerator, never a correctness
+// dependency — and a cap change clears the cache along with the shard
+// pool, since cached charges belong to the old regime.
+type tapeCache struct {
+	mu        sync.Mutex
+	tapes     map[tapeKey]*tape.Tape
+	bytes     map[tapeKey]int64 // reserve charge per tape (uncapped: 0)
+	recording map[tapeKey]bool
+	reserve   *heap.Reserve
+}
+
+func newTapeCache() *tapeCache {
+	return &tapeCache{
+		tapes:     make(map[tapeKey]*tape.Tape),
+		bytes:     make(map[tapeKey]int64),
+		recording: make(map[tapeKey]bool),
+	}
+}
+
+// lookup returns the cached tape for k, if one has been published.
+func (tc *tapeCache) lookup(k tapeKey) (*tape.Tape, bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	t, ok := tc.tapes[k]
+	return t, ok
+}
+
+// beginRecord claims the recording slot for k. It fails (false) when a
+// tape is already published or another cell is mid-recording.
+func (tc *tapeCache) beginRecord(k tapeKey) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.recording[k] {
+		return false
+	}
+	if _, ok := tc.tapes[k]; ok {
+		return false
+	}
+	tc.recording[k] = true
+	return true
+}
+
+// abortRecord releases an unfulfilled recording claim (the recording
+// run panicked or errored before publish).
+func (tc *tapeCache) abortRecord(k tapeKey) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	delete(tc.recording, k)
+}
+
+// publish installs the recorded tape and releases the claim. Under a
+// reserve, the tape's footprint must be admitted without blocking or
+// the tape is dropped. Reports whether the tape was kept.
+func (tc *tapeCache) publish(k tapeKey, t *tape.Tape) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	delete(tc.recording, k)
+	if _, ok := tc.tapes[k]; ok {
+		return false
+	}
+	if tc.reserve != nil {
+		n := int64(t.MemBytes())
+		if !tc.reserve.TryAcquire(n) {
+			return false
+		}
+		tc.bytes[k] = n
+	}
+	tc.tapes[k] = t
+	return true
+}
+
+// clear drops every cached tape, returning reserve charges.
+func (tc *tapeCache) clear() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for k, n := range tc.bytes {
+		if tc.reserve != nil && n > 0 {
+			tc.reserve.Release(n)
+		}
+		delete(tc.bytes, k)
+	}
+	for k := range tc.tapes {
+		delete(tc.tapes, k)
+	}
+}
+
+// setReserve rebinds the cache to a (possibly nil) reserve, clearing
+// it first: cached charges were acquired against the old regime.
+func (tc *tapeCache) setReserve(r *heap.Reserve) {
+	tc.clear()
+	tc.mu.Lock()
+	tc.reserve = r
+	tc.mu.Unlock()
+}
+
+// Tapes reports how many event tapes the engine currently caches.
+func (e *Engine) Tapes() int {
+	if e.tapes == nil {
+		return 0
+	}
+	e.tapes.mu.Lock()
+	defer e.tapes.mu.Unlock()
+	return len(e.tapes.tapes)
+}
+
+// SetTapeCache enables or disables the per-(workload, size) event-tape
+// cache and returns e for chaining. Enabled (the default from New),
+// the first cell of each matrix row records the driver's operation
+// stream as a side effect of running it, and every other cell of the
+// row — different collector, heap budget, gc-every or repeat — replays
+// the tape through the same runtime entry points instead of re-running
+// driver logic. Results are bit-identical either way; the cache only
+// removes redundant driver work. Disabling clears any cached tapes.
+func (e *Engine) SetTapeCache(on bool) *Engine {
+	if on {
+		if e.tapes == nil {
+			e.tapes = newTapeCache()
+			e.tapes.setReserve(e.reserve)
+		}
+		return e
+	}
+	if e.tapes != nil {
+		e.tapes.clear()
+		e.tapes = nil
+	}
+	return e
+}
+
+// TapeCache reports whether the event-tape cache is enabled.
+func (e *Engine) TapeCache() bool { return e.tapes != nil }

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// tapeDriveCount counts how many times the counting workload's driver
+// actually ran — replayed cells never touch it, which is the whole
+// point of the cache.
+var tapeDriveCount atomic.Int64
+
+func init() {
+	workload.Register(workload.Spec{
+		Name:      "tape-count",
+		Desc:      "test workload counting driver executions",
+		Threads:   func(int) int { return 1 },
+		HeapBytes: func(int) int { return 1 << 20 },
+		Run: func(rt *vm.Runtime, size int) {
+			tapeDriveCount.Add(1)
+			c := rt.Heap.DefineClass(heap.Class{Name: "obj", Refs: 1, Data: 8})
+			th := rt.NewThread(2)
+			th.CallVoid(1, func(f *vm.Frame) {
+				prev := f.MustNew(c)
+				for i := 0; i < 40*size; i++ {
+					o := f.MustNew(c)
+					f.PutField(o, 0, prev)
+					f.SetLocal(0, o)
+					prev = o
+				}
+			})
+		},
+	})
+}
+
+// TestTapeCacheSharesAcrossRepeats pins the Repeats contract: one job
+// with N repeats drives the workload once (recording) and replays the
+// other N-1 from the shared tape; with the cache off every repeat
+// drives.
+func TestTapeCacheSharesAcrossRepeats(t *testing.T) {
+	job := Job{Workload: "tape-count", Size: 1, Collector: "cg", HeapBytes: 1 << 21, Repeats: 5}
+
+	tapeDriveCount.Store(0)
+	r := New(1).Exec(job)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if got := tapeDriveCount.Load(); got != 1 {
+		t.Errorf("tape cache on: driver ran %d times across 5 repeats, want 1", got)
+	}
+
+	tapeDriveCount.Store(0)
+	r = New(1).SetTapeCache(false).Exec(job)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if got := tapeDriveCount.Load(); got != 5 {
+		t.Errorf("tape cache off: driver ran %d times across 5 repeats, want 5", got)
+	}
+}
+
+// TestTapeCacheBitIdentical pins the substitution property at the
+// engine surface: the same matrix row computed through the cache
+// (second cell replays) and with the cache disabled produces identical
+// collector statistics and heap state.
+func TestTapeCacheBitIdentical(t *testing.T) {
+	jobs := []Job{
+		{Workload: "jess", Size: 1, Collector: "cg", HeapBytes: 1 << 24},
+		{Workload: "jess", Size: 1, Collector: "cg+recycle", HeapBytes: 1 << 24},
+		{Workload: "jess", Size: 1, Collector: "cg", HeapBytes: 1 << 24, GCEvery: 900},
+	}
+	type snap struct {
+		stats core.Stats
+		hs    heap.Stats
+		instr uint64
+	}
+	collect := func(eng *Engine) []snap {
+		out := make([]snap, len(jobs))
+		for i, job := range jobs {
+			r := eng.Exec(job)
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			out[i] = snap{r.Col.(*core.CG).Stats(), r.RT.Heap.Stats(), r.RT.Instr()}
+		}
+		return out
+	}
+	cached := collect(New(1))
+	driven := collect(New(1).SetTapeCache(false))
+	for i := range jobs {
+		if cached[i] != driven[i] {
+			t.Errorf("job %d: tape-backed cell differs from driven cell\ncached: %+v\ndriven: %+v",
+				i, cached[i], driven[i])
+		}
+	}
+}
+
+// TestTapeCacheProgressCounters checks the /progress accounting: one
+// recording for the row, one replay per subsequent cell.
+func TestTapeCacheProgressCounters(t *testing.T) {
+	p := &obs.Progress{}
+	eng := New(1).SetProgress(p)
+	for _, col := range []string{"cg", "msa", "gen"} {
+		r := eng.Exec(Job{Workload: "compress", Size: 1, Collector: col, HeapBytes: 1 << 24})
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	s := p.Snapshot()
+	if s.TapesRecorded != 1 || s.TapeReplays != 2 {
+		t.Errorf("recorded %d / replays %d, want 1 / 2", s.TapesRecorded, s.TapeReplays)
+	}
+	if eng.Tapes() != 1 {
+		t.Errorf("engine caches %d tapes, want 1", eng.Tapes())
+	}
+}
+
+// TestTapeCacheClears pins cache invalidation: a cap change rebinds
+// the reserve (cached charges belonged to the old regime), and
+// disabling the cache drops it entirely.
+func TestTapeCacheClears(t *testing.T) {
+	eng := New(1).SetMaxHeapBytes(1 << 26)
+	if r := eng.Exec(Job{Workload: "compress", Size: 1, Collector: "cg", HeapBytes: 1 << 22}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if eng.Tapes() != 1 {
+		t.Fatalf("expected 1 cached tape, have %d", eng.Tapes())
+	}
+	eng.SetMaxHeapBytes(1 << 27)
+	if eng.Tapes() != 0 {
+		t.Errorf("cap change left %d cached tapes", eng.Tapes())
+	}
+	if got := eng.ReservedBytes(); got != 0 {
+		t.Errorf("cap change left %d reserved bytes", got)
+	}
+
+	if r := eng.Exec(Job{Workload: "compress", Size: 1, Collector: "cg", HeapBytes: 1 << 22}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	before := eng.ReservedBytes()
+	if eng.Tapes() != 1 || before == 0 {
+		t.Fatalf("expected 1 cached tape holding reserve, have %d tapes, %d bytes", eng.Tapes(), before)
+	}
+	eng.SetTapeCache(false)
+	if eng.Tapes() != 0 || eng.TapeCache() {
+		t.Error("SetTapeCache(false) left the cache populated")
+	}
+	if got := eng.ReservedBytes(); got != 0 {
+		t.Errorf("disabling the cache left %d reserved bytes", got)
+	}
+}

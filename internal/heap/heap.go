@@ -134,6 +134,12 @@ func (h *Heap) ClassOf(id HandleID) ClassID { return h.h(id).class }
 // ClassDef returns the class descriptor.
 func (h *Heap) ClassDef(c ClassID) Class { return h.classes[int(c)] }
 
+// NumClasses reports how many classes are defined. ClassIDs are dense:
+// every id in [0, NumClasses) is valid for ClassDef, in definition
+// order — which is what lets a recorded tape snapshot the class table
+// and a replay rebuild it with identical ids.
+func (h *Heap) NumClasses() int { return len(h.classes) }
+
 // Arena exposes the underlying allocator (read-mostly; the VM's GC
 // trigger inspects occupancy).
 func (h *Heap) Arena() *Arena { return h.arena }

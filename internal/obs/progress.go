@@ -15,6 +15,7 @@ import (
 // without guarding.
 type Progress struct {
 	total, stored, computed, deduped, inFlight, queued atomic.Int64
+	tapesRecorded, tapeReplays                         atomic.Int64
 
 	mu      sync.Mutex
 	workers []workerState
@@ -156,6 +157,24 @@ func (p *Progress) LaneDeduped(client string) {
 	}
 }
 
+// TapeRecorded counts one event tape captured by the engine (the first
+// cell of a (workload, size) row drove the workload and recorded it).
+func (p *Progress) TapeRecorded() {
+	if p == nil {
+		return
+	}
+	p.tapesRecorded.Add(1)
+}
+
+// TapeReplayed counts one repeat served by replaying a cached event
+// tape instead of re-running driver logic.
+func (p *Progress) TapeReplayed() {
+	if p == nil {
+		return
+	}
+	p.tapeReplays.Add(1)
+}
+
 // SetQueued records the scheduler's current ready-queue depth.
 func (p *Progress) SetQueued(n int) {
 	if p == nil {
@@ -230,6 +249,8 @@ type ProgressSnapshot struct {
 	CellsDeduped  int64            `json:"cells_deduped,omitempty"`
 	CellsInFlight int64            `json:"cells_in_flight"`
 	QueueDepth    int64            `json:"queue_depth"`
+	TapesRecorded int64            `json:"tapes_recorded,omitempty"`
+	TapeReplays   int64            `json:"tape_replays,omitempty"`
 	Workers       []WorkerSnapshot `json:"workers,omitempty"`
 	Lanes         []LaneSnapshot   `json:"lanes,omitempty"`
 }
@@ -266,6 +287,8 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		CellsDeduped:  p.deduped.Load(),
 		CellsInFlight: p.inFlight.Load(),
 		QueueDepth:    p.queued.Load(),
+		TapesRecorded: p.tapesRecorded.Load(),
+		TapeReplays:   p.tapeReplays.Load(),
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

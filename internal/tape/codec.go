@@ -1,0 +1,183 @@
+package tape
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/heap"
+)
+
+// magic opens every serialized tape; the final byte is the format
+// version, so a version bump is indistinguishable from a foreign file
+// — both are simply "not a tape we read".
+var magic = [8]byte{'c', 'g', 't', 'a', 'p', 'e', 0, Version}
+
+// Encode serializes t. The encoding is deterministic — the same tape
+// always produces the same bytes, so Hash doubles as a content
+// address — and ends with a sha256 of everything before it.
+func Encode(t *Tape) []byte {
+	b := make([]byte, 0, len(t.ops)+len(t.args)+256)
+	b = append(b, magic[:]...)
+	b = putStr(b, t.Meta.Workload)
+	b = binary.AppendUvarint(b, uint64(t.Meta.Size))
+	b = binary.AppendUvarint(b, uint64(t.Meta.Threads))
+	b = binary.AppendUvarint(b, uint64(t.Meta.HeapBytes))
+	b = binary.AppendUvarint(b, uint64(len(t.classes)))
+	for _, c := range t.classes {
+		b = putStr(b, c.Name)
+		b = binary.AppendUvarint(b, uint64(c.Refs))
+		b = binary.AppendUvarint(b, uint64(c.Data))
+		if c.IsArray {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(t.strings)))
+	for _, s := range t.strings {
+		b = putStr(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(t.allocs))
+	b = binary.AppendUvarint(b, uint64(len(t.ops)))
+	b = append(b, t.ops...)
+	b = binary.AppendUvarint(b, uint64(len(t.args)))
+	b = append(b, t.args...)
+	sum := sha256.Sum256(b)
+	return append(b, sum[:]...)
+}
+
+// Hash returns the tape's content address: the hex sha256 trailer its
+// encoding carries.
+func Hash(t *Tape) string {
+	enc := Encode(t)
+	return hex.EncodeToString(enc[len(enc)-sha256.Size:])
+}
+
+// Decode parses an encoded tape, verifying magic, version, integrity
+// hash, opcode validity and exact length. Tapes are regenerable, so
+// every failure is terminal — there is no partial decode.
+func Decode(b []byte) (*Tape, error) {
+	if len(b) < len(magic)+sha256.Size {
+		return nil, errors.New("tape: encoding too short")
+	}
+	if [8]byte(b[:8]) != magic {
+		return nil, fmt.Errorf("tape: bad magic or version (want v%d)", Version)
+	}
+	body, trailer := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
+	if sum := sha256.Sum256(body); [sha256.Size]byte(trailer) != sum {
+		return nil, errors.New("tape: integrity hash mismatch")
+	}
+	r := reader{b: body, pos: len(magic)}
+	t := &Tape{}
+	t.Meta.Workload = r.str()
+	t.Meta.Size = int(r.uvarint())
+	t.Meta.Threads = int(r.uvarint())
+	t.Meta.HeapBytes = int(r.uvarint())
+	t.classes = make([]heap.Class, r.uvarint())
+	for i := range t.classes {
+		t.classes[i] = heap.Class{
+			Name:    r.str(),
+			Refs:    int(r.uvarint()),
+			Data:    int(r.uvarint()),
+			IsArray: r.byte() != 0,
+		}
+	}
+	t.strings = make([]string, r.uvarint())
+	for i := range t.strings {
+		t.strings[i] = r.str()
+	}
+	t.allocs = int(r.uvarint())
+	t.ops = r.bytes(int(r.uvarint()))
+	t.args = r.bytes(int(r.uvarint()))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("tape: %d trailing bytes", len(body)-r.pos)
+	}
+	for i, op := range t.ops {
+		if op >= numOps {
+			return nil, fmt.Errorf("tape: bad opcode %d at op %d", op, i)
+		}
+	}
+	return t, nil
+}
+
+// WriteFile encodes t to path (0644).
+func WriteFile(path string, t *Tape) error {
+	return os.WriteFile(path, Encode(t), 0o644)
+}
+
+// ReadFile reads and decodes the tape at path.
+func ReadFile(path string) (*Tape, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+func putStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// reader is a cursor over an encoded body that latches its first
+// error; once err is set every accessor returns zero values, so decode
+// code reads straight through and checks err once.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(msg string) {
+	if r.err == nil {
+		r.err = errors.New("tape: " + msg)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.b) {
+		r.fail("truncated")
+		return 0
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.b) {
+		r.fail("truncated byte run")
+		return nil
+	}
+	s := r.b[r.pos : r.pos+n : r.pos+n]
+	r.pos += n
+	return s
+}
+
+func (r *reader) str() string { return string(r.bytes(int(r.uvarint()))) }

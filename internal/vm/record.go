@@ -1,0 +1,74 @@
+package vm
+
+import "repro/internal/heap"
+
+// OpRecorder receives the driver-facing operation stream: every call a
+// workload driver (or the jasm interpreter) makes into the runtime, in
+// execution order. internal/tape's Recorder implements it to capture an
+// event tape that a Replayer can later feed back through the identical
+// Runtime entry points — decode-op, switch, direct call — with no
+// driver logic in the loop.
+//
+// The seam records driver *inputs*, never collector activity: the
+// allocation-failure cascade, forced collections it triggers, event
+// dispatch and frame pops all replay themselves when the recorded
+// stream is re-driven. Two placement rules keep that true (and are why
+// the hooks live where they do in vm.go):
+//
+//   - Alloc fires from the public New/NewArray wrappers, not from the
+//     internal alloc path, so Intern's internal allocation is not
+//     double-recorded;
+//   - ForceCollect fires only for direct driver calls; the cascade's
+//     internal collection goes through the unexported entry.
+//
+// A recorder must be attached (SetRecorder) to a freshly constructed or
+// Reset runtime, before any threads or allocations exist: the stream
+// has no way to describe pre-existing state.
+type OpRecorder interface {
+	// NewThread records Runtime.NewThread; the new thread is the
+	// youngest entry of rt.Threads().
+	NewThread(t *Thread, nlocals int)
+	// CallBegin records Thread.Call entry: callee is the frame just
+	// pushed (now t.Top()).
+	CallBegin(t *Thread, callee *Frame, nlocals int)
+	// CallEnd records Thread.Call return, after the callee popped; ret
+	// is the body's result (possibly Nil).
+	CallEnd(t *Thread, ret heap.HandleID)
+	// Alloc records a successful Frame.New (extra == 0) or
+	// Frame.NewArray (extra = element count). Failed allocations are
+	// not recorded: the replayed allocation re-runs the same cascade.
+	Alloc(f *Frame, c heap.ClassID, extra int, id heap.HandleID)
+	// PutField, GetField, SetLocal, PutStatic and GetStatic record the
+	// like-named Frame operations.
+	PutField(f *Frame, obj heap.HandleID, slot int, val heap.HandleID)
+	GetField(f *Frame, obj heap.HandleID, slot int)
+	SetLocal(f *Frame, slot int, val heap.HandleID)
+	PutStatic(f *Frame, slot int, val heap.HandleID)
+	GetStatic(f *Frame, slot int)
+	// StaticSlot records only slot *creation* (the interning miss);
+	// repeated lookups of an existing name are unobservable no-ops and
+	// are elided from the stream.
+	StaticSlot(name string)
+	// Intern records every Frame.Intern call — hits too, since a hit
+	// still steps the instruction counter and fires access/rooting.
+	Intern(f *Frame, content string, c heap.ClassID, id heap.HandleID)
+	// NativePin and Forget record the like-named Frame operations.
+	NativePin(f *Frame, id heap.HandleID)
+	Forget(f *Frame, id heap.HandleID)
+	// ForceCollect records a direct driver call to
+	// Runtime.ForceCollect. Collections triggered internally (the
+	// allocation cascade, the GCEvery countdown) are never recorded.
+	ForceCollect()
+}
+
+// SetRecorder attaches r to the runtime's operation stream (nil
+// detaches). When attached, every driver-facing operation pays one
+// predictable nil-check branch plus the recorder call; when nil the
+// cost is the branch alone — the same pattern as the event-table
+// slots. Reset detaches any recorder along with the collector.
+func (rt *Runtime) SetRecorder(r OpRecorder) { rt.rec = r }
+
+// FrameAt returns the frame at stack depth d (root = 1, top = Depth()).
+// Tape replay uses it to re-target operations a driver performed on
+// non-top frames (a paused thread's root frame, say).
+func (t *Thread) FrameAt(d int) *Frame { return t.stack[d-1] }

@@ -111,6 +111,11 @@ type Runtime struct {
 	// collectors refine the mark boundary via Timeline().CycleMarkDone.
 	timeline obs.Timeline
 
+	// rec, when non-nil, receives the driver-facing operation stream
+	// (tape recording; see record.go). Every dispatch site is one
+	// predictable never-taken branch while detached.
+	rec OpRecorder
+
 	// gcEvery/countdown implement SetGCEvery as a decrement instead of
 	// a modulo on every step: countdown is 0 when the forced-collection
 	// instrumentation is off, so the steady-state step cost is one load
@@ -270,6 +275,7 @@ func (rt *Runtime) Reset(c Collector) {
 	rt.accessBroken = false
 	rt.satb = rt.satb[:0]
 	rt.satbNilDelta = 0
+	rt.rec = nil
 	rt.timeline.Reset()
 	rt.Attach(c.Events())
 }
@@ -390,6 +396,18 @@ func (rt *Runtime) SATBNilDelta() int64 { return rt.satbNilDelta }
 // only timing the runtime ever takes — never per event — so
 // instrumentation stays off the steady-state paths.
 func (rt *Runtime) ForceCollect() int {
+	if rt.rec != nil {
+		// Only direct driver calls are recorded: the allocation
+		// cascade's internal collection (forceCollect) replays itself
+		// when the failing allocation is re-driven.
+		rt.rec.ForceCollect()
+	}
+	return rt.forceCollect()
+}
+
+// forceCollect is ForceCollect minus the tape-recording hook — the
+// entry used by runtime-internal collection triggers.
+func (rt *Runtime) forceCollect() int {
 	if rt.epochActive {
 		rt.closeEpoch()
 	}
@@ -418,6 +436,9 @@ func (rt *Runtime) NewThread(nlocals int) *Thread {
 		rt.accessOn = rt.accessArmed
 	}
 	t.push(nlocals)
+	if rt.rec != nil {
+		rt.rec.NewThread(t, nlocals)
+	}
 	return t
 }
 
@@ -571,6 +592,9 @@ func (t *Thread) Depth() int { return len(t.stack) }
 // caller pre-loads via PassArg or from captured variables.
 func (t *Thread) Call(nlocals int, body func(f *Frame) heap.HandleID) heap.HandleID {
 	f := t.push(nlocals)
+	if rec := t.rt.rec; rec != nil {
+		rec.CallBegin(t, f, nlocals)
+	}
 	ret := body(f)
 	if ret != heap.Nil {
 		// areturn: the value's block must survive at least as long as
@@ -590,6 +614,9 @@ func (t *Thread) Call(nlocals int, body func(f *Frame) heap.HandleID) heap.Handl
 		}
 	}
 	t.pop()
+	if rec := t.rt.rec; rec != nil {
+		rec.CallEnd(t, ret)
+	}
 	return ret
 }
 
@@ -618,6 +645,9 @@ func (f *Frame) addOperand(id heap.HandleID) {
 // call — the write traffic is amortized even though the read scan is
 // inherently per-call linear.
 func (f *Frame) Forget(id heap.HandleID) {
+	if rec := f.rt.rec; rec != nil {
+		rec.Forget(f, id)
+	}
 	for i := range f.opRing {
 		if f.opRing[i] == id {
 			// The ring must never claim a handle the operand list no
@@ -657,6 +687,9 @@ func (f *Frame) Local(i int) heap.HandleID { return f.locals[i] }
 // SetLocal writes local slot i. Storing into a local is a stack (root)
 // reference: it fires no contamination, only thread-access detection.
 func (f *Frame) SetLocal(i int, v heap.HandleID) {
+	if rec := f.rt.rec; rec != nil {
+		rec.SetLocal(f, i, v)
+	}
 	f.rt.step()
 	if f.rt.accessOn && v != heap.Nil {
 		f.rt.onAccess(v, f.Thread)
@@ -673,10 +706,26 @@ func (f *Frame) Runtime() *Runtime { return f.rt }
 // New allocates an instance of class c while f is the active frame,
 // driving the §3.7 fallback cascade on exhaustion:
 // recycled storage, then a full collection, then error.
-func (f *Frame) New(c heap.ClassID) (heap.HandleID, error) { return f.alloc(c, 0) }
+//
+// The tape hook lives here (and in NewArray) rather than in alloc so
+// that Intern's internal allocation records as one opIntern, never as
+// an extra opAlloc.
+func (f *Frame) New(c heap.ClassID) (heap.HandleID, error) {
+	id, err := f.alloc(c, 0)
+	if err == nil && f.rt.rec != nil {
+		f.rt.rec.Alloc(f, c, 0, id)
+	}
+	return id, err
+}
 
 // NewArray allocates a reference array of n elements of array class c.
-func (f *Frame) NewArray(c heap.ClassID, n int) (heap.HandleID, error) { return f.alloc(c, n) }
+func (f *Frame) NewArray(c heap.ClassID, n int) (heap.HandleID, error) {
+	id, err := f.alloc(c, n)
+	if err == nil && f.rt.rec != nil {
+		f.rt.rec.Alloc(f, c, n, id)
+	}
+	return id, err
+}
 
 func (f *Frame) alloc(c heap.ClassID, extra int) (heap.HandleID, error) {
 	rt := f.rt
@@ -709,7 +758,7 @@ func (f *Frame) alloc(c heap.ClassID, extra int) (heap.HandleID, error) {
 				return rid, nil
 			}
 		}
-		rt.ForceCollect()
+		rt.forceCollect()
 		id, err = rt.Heap.Alloc(c, extra)
 		if err != nil {
 			return heap.Nil, fmt.Errorf("vm: heap exhausted after full collection: %w", err)
@@ -748,6 +797,9 @@ func (f *Frame) MustNewArray(c heap.ClassID, n int) heap.HandleID {
 // performs the store.
 func (f *Frame) PutField(obj heap.HandleID, slot int, val heap.HandleID) {
 	rt := f.rt
+	if rt.rec != nil {
+		rt.rec.PutField(f, obj, slot, val)
+	}
 	rt.step()
 	if rt.accessOn {
 		rt.onAccess(obj, f.Thread)
@@ -785,6 +837,9 @@ func (f *Frame) PutField(obj heap.HandleID, slot int, val heap.HandleID) {
 // GetField implements `obj.slot` (getfield / aaload).
 func (f *Frame) GetField(obj heap.HandleID, slot int) heap.HandleID {
 	rt := f.rt
+	if rt.rec != nil {
+		rt.rec.GetField(f, obj, slot)
+	}
 	rt.step()
 	if rt.accessOn {
 		rt.onAccess(obj, f.Thread)
@@ -807,6 +862,11 @@ func (rt *Runtime) StaticSlot(name string) int {
 	i := len(rt.statics)
 	rt.staticNames[name] = i
 	rt.statics = append(rt.statics, heap.Nil)
+	if rt.rec != nil {
+		// Only slot creation is recorded: a lookup hit steps nothing
+		// and fires nothing, so it has no place in the stream.
+		rt.rec.StaticSlot(name)
+	}
 	return i
 }
 
@@ -814,6 +874,9 @@ func (rt *Runtime) StaticSlot(name string) int {
 // object's block joins the frame-0 dependent list.
 func (f *Frame) PutStatic(slot int, val heap.HandleID) {
 	rt := f.rt
+	if rt.rec != nil {
+		rt.rec.PutStatic(f, slot, val)
+	}
 	rt.step()
 	if val != heap.Nil {
 		if rt.accessOn {
@@ -829,6 +892,9 @@ func (f *Frame) PutStatic(slot int, val heap.HandleID) {
 // GetStatic implements `static name` (getstatic).
 func (f *Frame) GetStatic(slot int) heap.HandleID {
 	rt := f.rt
+	if rt.rec != nil {
+		rt.rec.GetStatic(f, slot)
+	}
 	rt.step()
 	v := rt.statics[slot]
 	if v != heap.Nil {
@@ -851,6 +917,9 @@ func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
 			rt.onAccess(id, f.Thread)
 		}
 		f.addOperand(id)
+		if rt.rec != nil {
+			rt.rec.Intern(f, content, c, id)
+		}
 		return id, nil
 	}
 	id, err := f.alloc(c, 0)
@@ -862,6 +931,14 @@ func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
 	if rt.onStaticRef != nil {
 		rt.onStaticRef(id)
 	}
+	if rt.rec != nil {
+		// Recorded for hits and misses alike — a hit still steps and
+		// fires events — with hit-vs-miss derived identically on both
+		// sides of the seam from first occurrence of the content
+		// string, never from the handle (a recycled handle id could
+		// alias a stale mapping).
+		rt.rec.Intern(f, content, c, id)
+	}
 	return id, nil
 }
 
@@ -870,6 +947,9 @@ func (f *Frame) Intern(content string, c heap.ClassID) (heap.HandleID, error) {
 // they were static", §3.3).
 func (f *Frame) NativePin(id heap.HandleID) {
 	rt := f.rt
+	if rt.rec != nil {
+		rt.rec.NativePin(f, id)
+	}
 	rt.step()
 	if rt.onStaticRef != nil {
 		rt.onStaticRef(id)

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/tape"
+	"repro/internal/vm"
+)
+
+// RegisterTape registers a recorded event tape as a first-class
+// workload under name: the full matrix machinery — engine cells, sweep
+// servers, the results store — runs it like any built-in analog, with
+// the spec's thread count and arena budget carried over from the
+// recording. The replayed spec accepts any size (a tape is one fixed
+// stream; Size is echoed from the recording for cell identity), and a
+// malformed tape panics at run time like a workload bug would — the
+// engine converts that to a cell error.
+func RegisterTape(name string, t *tape.Tape) {
+	Register(Spec{
+		Name: name,
+		Desc: fmt.Sprintf("tape replay (%s/size %d)", t.Meta.Workload, t.Meta.Size),
+		Threads: func(int) int {
+			if t.Meta.Threads < 1 {
+				return 1
+			}
+			return t.Meta.Threads
+		},
+		HeapBytes: func(int) int { return t.Meta.HeapBytes },
+		Run: func(rt *vm.Runtime, _ int) {
+			if err := tape.NewReplayer(t).Run(rt); err != nil {
+				panic(err)
+			}
+		},
+	})
+}
